@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: the t2 trade-off the paper's tuning discussion is about.
+ * On a deadlock-prone substrate (single virtual channel, no
+ * injection limiter) where true deadlocks actually form, sweep t2
+ * and report both sides of the trade:
+ *
+ *  - false positives (detections the oracle refutes);
+ *  - detection latency of true deadlocks (cycles from the oracle
+ *    first seeing a message deadlocked to its detection, quantised
+ *    by the oracle period).
+ *
+ * The paper argues a low constant t2 is safe for NDM because the DT
+ * counters measure time since the last transmission: once the tree
+ * root blocks, the threshold is reached "at once" — so latency grows
+ * roughly linearly in t2 while NDM's false positives stay low, and
+ * the knee is where to operate.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/simulation.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormnet;
+    const Config cli = Config::parseArgs(argc - 1, argv + 1);
+    const Cycle warmup = cli.getUint("warmup", 1000);
+    const Cycle measure = cli.getUint("measure", 12000);
+
+    TextTable table(6);
+    table.addRow({"t2", "true deadlocked", "detections",
+                  "false det %", "mean det latency",
+                  "max persistence"});
+    table.addSeparator();
+
+    for (const Cycle t2 : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+        SimulationConfig cfg;
+        cfg.radix = 8;
+        cfg.dims = 2;
+        cfg.vcs = 1; // deadlock-prone substrate
+        cfg.lengths = "s";
+        cfg.flitRate = 0.30;
+        cfg.detector = "ndm:" + std::to_string(t2);
+        cfg.recovery = "progressive";
+        cfg.injectionLimit = false;
+        cfg.oraclePeriod = 8;
+        cfg.seed = cli.getUint("seed", 5);
+        Simulation sim(cfg);
+        sim.net().run(warmup);
+        sim.net().startMeasurement();
+        sim.net().run(measure);
+
+        const SimStats &s = sim.net().stats();
+        char lat[32], pers[32], fd[32];
+        std::snprintf(lat, sizeof(lat), "%.0f",
+                      s.detectionLatency.mean());
+        std::snprintf(pers, sizeof(pers), "%llu",
+                      static_cast<unsigned long long>(
+                          s.maxDeadlockPersistence));
+        std::snprintf(
+            fd, sizeof(fd), "%s",
+            formatPercentPaperStyle(
+                s.wDelivered
+                    ? double(s.wFalseDetections) / s.wDelivered
+                    : 0.0)
+                .c_str());
+        table.addRow({std::to_string(t2),
+                      std::to_string(s.trueDeadlockedMessages),
+                      std::to_string(s.wDetectionEvents), fd, lat,
+                      pers});
+        std::fputc('.', stderr);
+        std::fflush(stderr);
+    }
+    std::fputc('\n', stderr);
+    std::printf("t2 trade-off on a deadlock-prone substrate "
+                "(8x8 torus, 1 VC, no limiter, uniform 's', "
+                "rate 0.30):\n%s\n"
+                "Reading: the detector and the substrate feed back "
+                "on each other.\nVery small t2 recovers congestion "
+                "before deadlocks can even form\n(persistence 0); "
+                "moderate t2 detects true deadlocks with latency on\n"
+                "the order of t2; large t2 lets many more deadlocks "
+                "form and linger.\nDetection latency stays within a "
+                "small factor of t2 throughout,\nsupporting the "
+                "paper's case for a low constant threshold.\n",
+                table.render().c_str());
+    return 0;
+}

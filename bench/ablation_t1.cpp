@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: the t1 (I-flag) threshold. The paper fixes t1 to "a very
+ * low value (for instance, only one clock cycle)" — the I flag must
+ * trip as soon as a channel's occupants stop advancing, because it
+ * classifies whether the occupant of a requested channel was already
+ * blocked at arrival time. Raising t1 makes blocked occupants look
+ * active, turning would-be Propagate flags into Generate and
+ * inflating false detections.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormnet;
+    const auto opts = bench::parseBenchArgs(argc, argv, "uniform",
+                                            /*default_sat=*/0.74);
+    const ExperimentRunner runner([](const std::string &) {
+        std::fputc('.', stderr);
+        std::fflush(stderr);
+    });
+
+    const std::vector<Cycle> t1s = {1, 2, 4, 8, 16};
+    const std::vector<Cycle> t2s = {32, 64};
+    const std::vector<double> fractions = {0.857, 1.10};
+
+    for (const double f : fractions) {
+        TextTable table(1 + t2s.size());
+        std::vector<std::string> head = {"t1"};
+        for (const Cycle t2 : t2s)
+            head.push_back("t2=" + std::to_string(t2));
+        table.addRow(head);
+        table.addSeparator();
+        for (const Cycle t1 : t1s) {
+            std::vector<std::string> row = {std::to_string(t1)};
+            for (const Cycle t2 : t2s) {
+                SimulationConfig cfg = opts.base;
+                cfg.lengths = "sl";
+                cfg.flitRate = f * opts.satRate;
+                cfg.detector = "ndm:" + std::to_string(t2) + ":" +
+                               std::to_string(t1) + ":selective";
+                const CellResult cell =
+                    runner.runCell(cfg, opts.warmup, opts.measure);
+                row.push_back(
+                    formatPercentPaperStyle(cell.detectionRate));
+            }
+            table.addRow(row);
+        }
+        std::fputc('\n', stderr);
+        std::printf("t1 ablation at %.0f%% of saturation (uniform, "
+                    "'sl'):\n%s\n",
+                    f * 100, table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator itself:
+ * per-cycle stepping cost vs. network size and load, the overhead of
+ * each detection mechanism's hooks, and the ground-truth oracle's
+ * sweep cost. These bound how expensive the paper-table sweeps are
+ * and verify the detector hooks stay off the simulator's critical
+ * path (mirroring the paper's "simple hardware not in the critical
+ * path" argument in simulation form).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/simulation.hh"
+#include "sim/oracle.hh"
+
+namespace
+{
+
+using namespace wormnet;
+
+SimulationConfig
+baseConfig(unsigned radix, unsigned dims, double rate,
+           const std::string &detector)
+{
+    SimulationConfig cfg;
+    cfg.radix = radix;
+    cfg.dims = dims;
+    cfg.flitRate = rate;
+    cfg.detector = detector;
+    cfg.recovery = "progressive";
+    cfg.oraclePeriod = 0; // measured separately
+    cfg.seed = 1;
+    return cfg;
+}
+
+void
+BM_StepIdleNetwork(benchmark::State &state)
+{
+    Simulation sim(baseConfig(
+        static_cast<unsigned>(state.range(0)), 2, 0.0, "ndm:32"));
+    for (auto _ : state)
+        sim.net().step();
+    state.SetItemsProcessed(state.iterations() *
+                            sim.net().numNodes());
+}
+BENCHMARK(BM_StepIdleNetwork)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_StepLoadedNetwork(benchmark::State &state)
+{
+    Simulation sim(baseConfig(
+        static_cast<unsigned>(state.range(0)), 2, 0.4, "ndm:32"));
+    sim.net().run(2000); // warm the network to steady state
+    for (auto _ : state)
+        sim.net().step();
+    state.SetItemsProcessed(state.iterations() *
+                            sim.net().numNodes());
+}
+BENCHMARK(BM_StepLoadedNetwork)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_StepPaperNetwork(benchmark::State &state)
+{
+    // The paper's full 8-ary 3-cube (512 nodes) under load.
+    Simulation sim(baseConfig(8, 3, 0.3, "ndm:32"));
+    sim.net().run(1000);
+    for (auto _ : state)
+        sim.net().step();
+    state.SetItemsProcessed(state.iterations() *
+                            sim.net().numNodes());
+}
+BENCHMARK(BM_StepPaperNetwork);
+
+void
+BM_DetectorOverhead(benchmark::State &state)
+{
+    static const char *kDetectors[] = {"none", "timeout:32",
+                                       "pdm:32", "ndm:32"};
+    const std::string detector = kDetectors[state.range(0)];
+    Simulation sim(baseConfig(8, 2, 0.6, detector));
+    sim.net().run(2000);
+    for (auto _ : state)
+        sim.net().step();
+    state.SetLabel(detector);
+}
+BENCHMARK(BM_DetectorOverhead)->DenseRange(0, 3);
+
+void
+BM_OracleSweep(benchmark::State &state)
+{
+    Simulation sim(baseConfig(
+        static_cast<unsigned>(state.range(0)), 2, 0.6, "ndm:32"));
+    sim.net().run(2000);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            findDeadlockedMessages(sim.net()));
+    }
+}
+BENCHMARK(BM_OracleSweep)->Arg(8)->Arg(16);
+
+void
+BM_SaturatedWithRecovery(benchmark::State &state)
+{
+    SimulationConfig cfg = baseConfig(8, 2, 1.0, "ndm:32");
+    cfg.oraclePeriod = 128;
+    Simulation sim(cfg);
+    sim.net().run(2000);
+    for (auto _ : state)
+        sim.net().step();
+}
+BENCHMARK(BM_SaturatedWithRecovery);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Extending wormnet: plugging a user-defined deadlock detector into
+ * the simulator. The example implements a hybrid mechanism — NDM's
+ * inactivity counters with a per-message escalation rule (a message
+ * must fail twice with all DT flags set before it is marked) — and
+ * compares it against stock NDM under identical traffic.
+ *
+ * The point of the example is the wiring: any subclass of
+ * DeadlockDetector can be driven by Network; only local,
+ * hardware-plausible information reaches the hooks.
+ */
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "detection/ndm.hh"
+#include "recovery/progressive.hh"
+#include "routing/routing.hh"
+#include "sim/network.hh"
+#include "topology/torus.hh"
+#include "traffic/length.hh"
+#include "traffic/pattern.hh"
+
+namespace
+{
+
+using namespace wormnet;
+
+/**
+ * NDM with a confirmation step: the first all-DT verdict only arms
+ * the message; the mark happens if the condition still holds on a
+ * later attempt at least `confirmGap` cycles later.
+ */
+class ConfirmingNdm : public NdmDetector
+{
+  public:
+    ConfirmingNdm(const NdmParams &params, Cycle confirm_gap)
+        : NdmDetector(params), confirmGap_(confirm_gap)
+    {
+    }
+
+    void
+    init(const DetectorContext &ctx) override
+    {
+        NdmDetector::init(ctx);
+        armedAt_.clear();
+    }
+
+    bool
+    onRoutingFailed(NodeId router, PortId in_port, VcId in_vc,
+                    MsgId msg, PortMask feasible, bool fully_busy,
+                    bool first, Cycle now) override
+    {
+        const bool verdict = NdmDetector::onRoutingFailed(
+            router, in_port, in_vc, msg, feasible, fully_busy, first,
+            now);
+        if (!verdict) {
+            armedAt_.erase(msg);
+            return false;
+        }
+        const auto it = armedAt_.find(msg);
+        if (it == armedAt_.end()) {
+            armedAt_[msg] = now;
+            return false; // armed, not yet confirmed
+        }
+        return now - it->second >= confirmGap_;
+    }
+
+    std::string
+    name() const override
+    {
+        return "confirming-" + NdmDetector::name();
+    }
+
+  private:
+    Cycle confirmGap_;
+    std::unordered_map<MsgId, Cycle> armedAt_;
+};
+
+double
+runWith(DeadlockDetector &det, double rate)
+{
+    KAryNCube topo(8, 2);
+    UniformPattern pattern(topo);
+    MixLength lengths({{16, 0.6}, {64, 0.4}});
+
+    NetworkParams np; // paper defaults
+    RouterParams rp;
+    rp.netPorts = topo.numNetPorts();
+    rp.injPorts = np.injPorts;
+    rp.ejePorts = np.ejePorts;
+    rp.vcs = np.vcs;
+    rp.bufDepth = np.bufDepth;
+    TrueFullyAdaptiveRouting routing(topo, rp);
+    ProgressiveRecovery rec(ProgressiveParams{});
+
+    Network net(topo, np, routing, det, &rec, pattern, lengths, rate,
+                7);
+    net.run(2500);
+    net.startMeasurement();
+    net.run(10000);
+    return net.stats().detectionRate();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("custom detector example: stock NDM vs a "
+                "confirmation-step variant\n");
+    std::printf("(8-ary 2-cube, uniform 'sl' traffic)\n\n");
+    std::printf("%-12s %-28s %-28s\n", "load", "ndm:16",
+                "confirming ndm:16 (+32cy)");
+    for (const double rate : {0.64, 0.74, 0.82}) {
+        NdmDetector stock(
+            NdmParams{1, 16, GpRearmPolicy::WaitersOnChannel});
+        ConfirmingNdm confirming(
+            NdmParams{1, 16, GpRearmPolicy::WaitersOnChannel}, 32);
+        const double a = runWith(stock, rate);
+        const double b = runWith(confirming, rate);
+        std::printf("%-12.2f %-28.4f %-28.4f  (%% of messages)\n",
+                    rate, a * 100.0, b * 100.0);
+    }
+    std::printf("\nThe confirmation step trades detection latency "
+                "for fewer false\npositives — the same axis the "
+                "paper's t2 tunes, expressed as a\nuser extension "
+                "without touching library code.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+#include "common/log.hh"
+
+#include <cstdio>
+
+namespace wormnet
+{
+namespace log_detail
+{
+
+namespace
+{
+int g_verbosity = 1;
+} // namespace
+
+int
+verbosity()
+{
+    return g_verbosity;
+}
+
+void
+setVerbosity(int level)
+{
+    g_verbosity = level;
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+panicImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_verbosity >= 1)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_verbosity >= 2)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace log_detail
+} // namespace wormnet

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Minimal logging / error-reporting facility in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * - fatal():   the simulation cannot continue because of a user error
+ *              (bad configuration, inconsistent parameters). Throws
+ *              FatalError so that library users and tests can catch it.
+ * - panic():   an internal invariant was violated (a wormnet bug).
+ *              Also throws (PanicError) so tests can assert on it, but
+ *              callers are not expected to recover.
+ * - warn()/inform(): advisory messages to stderr, rate-unlimited.
+ */
+
+#ifndef WORMNET_COMMON_LOG_HH
+#define WORMNET_COMMON_LOG_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wormnet
+{
+
+/** Error thrown by fatal(): user-caused, unrecoverable condition. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Error thrown by panic(): internal invariant violation. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+namespace log_detail
+{
+
+/** Fold arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void fatalImpl(const std::string &msg);
+[[noreturn]] void panicImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Global verbosity: 0 = silent, 1 = warn, 2 = inform. */
+int verbosity();
+void setVerbosity(int level);
+
+} // namespace log_detail
+
+/** Abort the simulation due to a user error. Throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    log_detail::fatalImpl(
+        log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the simulation due to an internal bug. Throws PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    log_detail::panicImpl(
+        log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr (verbosity >= 1). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    log_detail::warnImpl(
+        log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational note to stderr (verbosity >= 2). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    log_detail::informImpl(
+        log_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Set global log verbosity (0 silent, 1 warn, 2 inform). */
+inline void
+setLogVerbosity(int level)
+{
+    log_detail::setVerbosity(level);
+}
+
+/**
+ * wn_assert: invariant check that stays enabled in release builds
+ * (simulation correctness beats the trivial cost of these branches).
+ * Calls panic() on failure.
+ */
+#define wn_assert(cond, ...)                                           \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::wormnet::panic("assertion failed: ", #cond, " at ",      \
+                             __FILE__, ":", __LINE__,                  \
+                             ##__VA_ARGS__);                           \
+        }                                                              \
+    } while (0)
+
+} // namespace wormnet
+
+#endif // WORMNET_COMMON_LOG_HH

@@ -1,0 +1,104 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : width_(bucket_width), buckets_(num_buckets, 0)
+{
+    wn_assert(bucket_width >= 1);
+    wn_assert(num_buckets >= 1);
+}
+
+void
+Histogram::add(std::uint64_t x)
+{
+    const std::size_t idx = static_cast<std::size_t>(x / width_);
+    if (idx < buckets_.size())
+        ++buckets_[idx];
+    else
+        ++overflow_;
+    ++total_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double next = cum + static_cast<double>(buckets_[i]);
+        if (next >= target && buckets_[i] > 0) {
+            const double frac = (target - cum) / buckets_[i];
+            return (static_cast<double>(i) + frac) * width_;
+        }
+        cum = next;
+    }
+    return static_cast<double>(buckets_.size()) * width_;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        os << '[' << i * width_ << ',' << (i + 1) * width_ << "): "
+           << buckets_[i] << '\n';
+    }
+    if (overflow_ > 0)
+        os << "[overflow): " << overflow_ << '\n';
+    return os.str();
+}
+
+} // namespace wormnet

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by the simulator's metric
+ * collection: streaming mean/variance accumulators and fixed-bucket
+ * histograms. All are resettable so that warm-up samples can be
+ * discarded at the start of the measurement phase.
+ */
+
+#ifndef WORMNET_COMMON_STATS_HH
+#define WORMNET_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace wormnet
+{
+
+/**
+ * Streaming scalar statistic: count, mean, variance (Welford), min and
+ * max. Cheap enough to update per message.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Unbiased sample variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram over non-negative integer samples with uniform buckets and
+ * an explicit overflow bucket. Used for latency distributions.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket (>= 1)
+     * @param num_buckets number of regular buckets before overflow
+     */
+    explicit Histogram(std::uint64_t bucket_width = 16,
+                       std::size_t num_buckets = 64);
+
+    void add(std::uint64_t x);
+    void reset();
+
+    std::uint64_t count() const { return total_; }
+
+    /** Samples in regular bucket i (i < numBuckets()). */
+    std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t bucketWidth() const { return width_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /**
+     * Approximate p-quantile (q in [0,1]) assuming uniform density
+     * within buckets; returns the upper edge of the overflow region's
+     * start when the quantile falls in overflow.
+     */
+    double quantile(double q) const;
+
+    /** Multi-line textual rendering for reports. */
+    std::string toString() const;
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Windowed rate estimator: tracks an event count and an elapsed-cycle
+ * denominator, resettable at phase boundaries. Used for accepted
+ * throughput (flits/cycle/node).
+ */
+class RateEstimator
+{
+  public:
+    void addEvents(std::uint64_t n) { events_ += n; }
+    void addCycles(std::uint64_t n) { cycles_ += n; }
+    void reset() { events_ = 0; cycles_ = 0; }
+
+    std::uint64_t events() const { return events_; }
+    std::uint64_t cycles() const { return cycles_; }
+
+    /** Events per cycle (0 when no cycles elapsed). */
+    double rate() const
+    {
+        return cycles_ ? static_cast<double>(events_) / cycles_ : 0.0;
+    }
+
+  private:
+    std::uint64_t events_ = 0;
+    std::uint64_t cycles_ = 0;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_COMMON_STATS_HH

@@ -1,0 +1,134 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+TextTable::TextTable(std::size_t num_columns)
+    : numColumns_(num_columns)
+{
+    wn_assert(num_columns >= 1);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    wn_assert(cells.size() == numColumns_,
+              " (got ", cells.size(), ", want ", numColumns_, ")");
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(numColumns_, 0);
+    for (const auto &row : rows_) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < numColumns_; ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    std::size_t total = 0;
+    for (const auto w : widths)
+        total += w;
+    total += 2 * (numColumns_ - 1);
+
+    std::ostringstream os;
+    for (const auto &row : rows_) {
+        if (row.separator) {
+            os << std::string(total, '-') << '\n';
+            continue;
+        }
+        for (std::size_t c = 0; c < numColumns_; ++c) {
+            const auto &cell = row.cells[c];
+            const std::size_t pad = widths[c] - cell.size();
+            if (c == 0) {
+                // Row labels left-aligned.
+                os << cell << std::string(pad, ' ');
+            } else {
+                os << std::string(pad, ' ') << cell;
+            }
+            if (c + 1 < numColumns_)
+                os << "  ";
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream os;
+    for (const auto &row : rows_) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < numColumns_; ++c) {
+            std::string cell = row.cells[c];
+            const bool quote =
+                cell.find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                std::string escaped = "\"";
+                for (const char ch : cell) {
+                    if (ch == '"')
+                        escaped += "\"\"";
+                    else
+                        escaped += ch;
+                }
+                escaped += '"';
+                cell = std::move(escaped);
+            }
+            os << cell;
+            if (c + 1 < numColumns_)
+                os << ',';
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+formatSig(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+    return buf;
+}
+
+std::string
+formatPercentPaperStyle(double frac)
+{
+    const double pct = frac * 100.0;
+    char buf[64];
+    if (pct == 0.0)
+        return ".000";
+    if (pct < 1.0) {
+        // ".055" style: three decimals, no leading zero.
+        std::snprintf(buf, sizeof(buf), "%.3f", pct);
+        const char *s = buf;
+        if (s[0] == '0')
+            ++s;
+        return s;
+    }
+    if (pct < 10.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f", pct);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.1f", pct);
+    return buf;
+}
+
+} // namespace wormnet

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Column-aligned text tables for experiment output.
+ *
+ * The bench harness reproduces the paper's Tables 1-7, which are grids
+ * of detection percentages with row labels ("Th 2" .. "Th 1024") and
+ * grouped column headers (one group per injection rate, one column per
+ * message-size class). TextTable renders such grids with alignment,
+ * optional per-cell annotations (the paper's "(*)" true-deadlock
+ * marker), and CSV export for downstream plotting.
+ */
+
+#ifndef WORMNET_COMMON_TABLE_HH
+#define WORMNET_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace wormnet
+{
+
+/** A rectangular grid of strings rendered with aligned columns. */
+class TextTable
+{
+  public:
+    /** @param num_columns total columns including the row-label one. */
+    explicit TextTable(std::size_t num_columns);
+
+    /** Append a full row; must have exactly numColumns() cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    std::size_t numColumns() const { return numColumns_; }
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render with 2-space gutters, right-aligned data columns. */
+    std::string render() const;
+
+    /** Render as CSV (separators skipped, cells comma-escaped). */
+    std::string renderCsv() const;
+
+  private:
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::size_t numColumns_;
+    std::vector<Row> rows_;
+};
+
+/**
+ * Format a fraction as the paper formats detection percentages:
+ * three significant digits, e.g. 0.00055 -> ".055" style for small
+ * values and "26.0" for large ones. @p frac is a ratio in [0,1];
+ * output is in percent.
+ */
+std::string formatPercentPaperStyle(double frac);
+
+/** Format a double with @p digits significant digits. */
+std::string formatSig(double value, int digits);
+
+} // namespace wormnet
+
+#endif // WORMNET_COMMON_TABLE_HH

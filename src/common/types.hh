@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fundamental scalar types and sentinels shared across all wormnet
+ * libraries.
+ *
+ * The simulator follows the conventions of flit-level network-on-chip
+ * simulators: time is measured in integral clock cycles, nodes/routers
+ * are densely numbered, and the per-router port/virtual-channel spaces
+ * are small dense integers suitable for bitmask representation.
+ */
+
+#ifndef WORMNET_COMMON_TYPES_HH
+#define WORMNET_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace wormnet
+{
+
+/** Simulation time in clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Dense node (== router) identifier, in [0, numNodes). */
+using NodeId = std::uint32_t;
+
+/** Dense message identifier assigned at generation time. */
+using MsgId = std::uint32_t;
+
+/** Physical-channel (port) index local to one router. */
+using PortId = std::uint16_t;
+
+/** Virtual-channel index within one physical channel. */
+using VcId = std::uint8_t;
+
+/**
+ * Bitmask over a router's output physical channels. Routers never have
+ * more than 32 physical channels (2*dims network ports plus a handful
+ * of ejection ports), so 32 bits always suffice; this is checked at
+ * network construction time.
+ */
+using PortMask = std::uint32_t;
+
+/** Sentinel: "no node". */
+inline constexpr NodeId kInvalidNode =
+    std::numeric_limits<NodeId>::max();
+
+/** Sentinel: "no message". */
+inline constexpr MsgId kInvalidMsg = std::numeric_limits<MsgId>::max();
+
+/** Sentinel: "no port". */
+inline constexpr PortId kInvalidPort =
+    std::numeric_limits<PortId>::max();
+
+/** Sentinel: "no virtual channel". */
+inline constexpr VcId kInvalidVc = std::numeric_limits<VcId>::max();
+
+/** Sentinel: "never" / "not yet" timestamp. */
+inline constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+/**
+ * A (port, virtual channel) pair identifying one virtual channel local
+ * to a router. Used both for output candidates produced by routing
+ * functions and for input-side buffer references.
+ */
+struct PortVc
+{
+    PortId port = kInvalidPort;
+    VcId vc = kInvalidVc;
+
+    bool valid() const { return port != kInvalidPort; }
+
+    bool
+    operator==(const PortVc &other) const
+    {
+        return port == other.port && vc == other.vc;
+    }
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_COMMON_TYPES_HH

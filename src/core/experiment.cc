@@ -1,0 +1,214 @@
+#include "core/experiment.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+namespace
+{
+
+/** Replace the "%T" placeholder with a threshold value. */
+std::string
+instantiateDetector(const std::string &tmpl, Cycle threshold)
+{
+    const auto pos = tmpl.find("%T");
+    if (pos == std::string::npos)
+        fatal("detector template '", tmpl, "' lacks a %T placeholder");
+    std::ostringstream os;
+    os << tmpl.substr(0, pos) << threshold << tmpl.substr(pos + 2);
+    return os.str();
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(Progress progress)
+    : progress_(std::move(progress))
+{
+}
+
+CellResult
+ExperimentRunner::runCell(const SimulationConfig &config, Cycle warmup,
+                          Cycle measure) const
+{
+    Simulation sim(config);
+    const SimSummary s = sim.warmupAndMeasure(warmup, measure);
+    CellResult cell;
+    cell.detectionRate = s.detectionRate;
+    cell.sawTrueDeadlock =
+        s.trueDetections > 0 || s.trueDeadlockedMessages > 0;
+    cell.delivered = s.delivered;
+    cell.detectedMessages = s.detectedMessages;
+    cell.acceptedFlitRate = s.acceptedFlitRate;
+    cell.generatedFlitRate = s.generatedFlitRate;
+    cell.avgLatency = s.avgLatency;
+    return cell;
+}
+
+CellResult
+ExperimentRunner::runCellReplicated(const SimulationConfig &config,
+                                    Cycle warmup, Cycle measure,
+                                    unsigned replications) const
+{
+    wn_assert(replications >= 1);
+    if (replications == 1)
+        return runCell(config, warmup, measure);
+
+    RunningStat det;
+    CellResult out;
+    for (unsigned i = 0; i < replications; ++i) {
+        SimulationConfig cfg = config;
+        cfg.seed = config.seed + i;
+        const CellResult cell = runCell(cfg, warmup, measure);
+        det.add(cell.detectionRate);
+        out.sawTrueDeadlock |= cell.sawTrueDeadlock;
+        out.delivered += cell.delivered;
+        out.detectedMessages += cell.detectedMessages;
+        out.acceptedFlitRate += cell.acceptedFlitRate;
+        out.generatedFlitRate += cell.generatedFlitRate;
+        out.avgLatency += cell.avgLatency;
+    }
+    out.detectionRate = det.mean();
+    out.detectionRateStd = det.stddev();
+    out.replications = replications;
+    out.acceptedFlitRate /= replications;
+    out.generatedFlitRate /= replications;
+    out.avgLatency /= replications;
+    return out;
+}
+
+TableResult
+ExperimentRunner::runTable(const TableSpec &spec) const
+{
+    wn_assert(spec.rates.size() == spec.rateLabels.size());
+    TableResult result;
+    result.spec = spec;
+    result.cells.resize(spec.rates.size());
+
+    for (std::size_t r = 0; r < spec.rates.size(); ++r) {
+        result.cells[r].resize(spec.sizeClasses.size());
+        for (std::size_t s = 0; s < spec.sizeClasses.size(); ++s) {
+            for (const Cycle th : spec.thresholds) {
+                SimulationConfig cfg = spec.base;
+                cfg.flitRate = spec.rates[r];
+                cfg.lengths = spec.sizeClasses[s];
+                cfg.detector =
+                    instantiateDetector(spec.detectorTemplate, th);
+                if (progress_) {
+                    std::ostringstream os;
+                    os << spec.title << " rate=" << spec.rates[r]
+                       << " size=" << spec.sizeClasses[s]
+                       << " th=" << th;
+                    progress_(os.str());
+                }
+                result.cells[r][s].push_back(runCellReplicated(
+                    cfg, spec.warmup, spec.measure,
+                    spec.replications));
+            }
+        }
+    }
+    return result;
+}
+
+TextTable
+ExperimentRunner::formatTable(const TableResult &result,
+                              const double *paper_ref)
+{
+    const TableSpec &spec = result.spec;
+    const std::size_t sizes = spec.sizeClasses.size();
+    const std::size_t cols = 1 + spec.rates.size() * sizes;
+    TextTable table(cols);
+
+    // Header 1: rate labels spanning their size columns; a column
+    // group is starred when any of its cells saw a true deadlock.
+    {
+        std::vector<std::string> row(cols);
+        row[0] = "";
+        for (std::size_t r = 0; r < spec.rates.size(); ++r)
+            row[1 + r * sizes] = spec.rateLabels[r];
+        table.addRow(std::move(row));
+    }
+    // Header 2: size class per column, starred if the column's cells
+    // include a confirmed true deadlock.
+    {
+        std::vector<std::string> row(cols);
+        row[0] = "M. Size";
+        for (std::size_t r = 0; r < spec.rates.size(); ++r) {
+            for (std::size_t s = 0; s < sizes; ++s) {
+                bool starred = false;
+                for (const auto &cell : result.cells[r][s])
+                    starred |= cell.sawTrueDeadlock;
+                row[1 + r * sizes + s] =
+                    spec.sizeClasses[s] + (starred ? " (*)" : "");
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    table.addSeparator();
+
+    for (std::size_t t = 0; t < spec.thresholds.size(); ++t) {
+        std::vector<std::string> row(cols);
+        {
+            std::ostringstream os;
+            os << "Th " << spec.thresholds[t];
+            row[0] = os.str();
+        }
+        for (std::size_t r = 0; r < spec.rates.size(); ++r) {
+            for (std::size_t s = 0; s < sizes; ++s) {
+                const CellResult &cell = result.cells[r][s][t];
+                std::string text =
+                    formatPercentPaperStyle(cell.detectionRate);
+                if (paper_ref) {
+                    const double ref =
+                        paper_ref[t * spec.rates.size() * sizes +
+                                  r * sizes + s];
+                    text += " (" +
+                            formatPercentPaperStyle(ref / 100.0) +
+                            ")";
+                }
+                row[1 + r * sizes + s] = std::move(text);
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+double
+ExperimentRunner::findSaturationRate(const SimulationConfig &base,
+                                     double lo, double hi,
+                                     double slack, Cycle warmup,
+                                     Cycle measure,
+                                     unsigned iterations) const
+{
+    wn_assert(lo > 0.0 && hi > lo);
+    const auto saturatedAt = [&](double rate) {
+        SimulationConfig cfg = base;
+        cfg.flitRate = rate;
+        const CellResult cell = runCell(cfg, warmup, measure);
+        // Compare against the *generated* load: self-mapping
+        // patterns (bit-reversal, butterfly) drop self-addressed
+        // draws at the source, which must not read as saturation.
+        return cell.acceptedFlitRate <
+               (1.0 - slack) * cell.generatedFlitRate;
+    };
+
+    // Ensure the bracket actually straddles saturation.
+    if (saturatedAt(lo))
+        return lo;
+    if (!saturatedAt(hi))
+        return hi;
+
+    for (unsigned i = 0; i < iterations; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (saturatedAt(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace wormnet

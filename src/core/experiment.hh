@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Experiment harness: threshold-sweep grids in the shape of the
+ * paper's Tables 1-7, plus saturation-point search.
+ *
+ * A table cell is one simulation: (traffic pattern, message-size
+ * class, injection rate, detection threshold) -> percentage of
+ * messages detected as possibly deadlocked. Rows sweep the detection
+ * threshold; column groups sweep the injection rate; columns within a
+ * group sweep the message-size class. Cells where the ground-truth
+ * oracle confirmed at least one true deadlock are starred, matching
+ * the paper's "(*)" annotation.
+ */
+
+#ifndef WORMNET_CORE_EXPERIMENT_HH
+#define WORMNET_CORE_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/simulation.hh"
+
+namespace wormnet
+{
+
+/** One simulated table cell (possibly averaged over seeds). */
+struct CellResult
+{
+    double detectionRate = 0.0;  ///< fraction of delivered messages
+    /** Sample standard deviation of detectionRate across the seed
+     *  replications (0 with a single replication). */
+    double detectionRateStd = 0.0;
+    unsigned replications = 1;
+    bool sawTrueDeadlock = false;
+    std::uint64_t delivered = 0;
+    std::uint64_t detectedMessages = 0;
+    double acceptedFlitRate = 0.0;
+    /** Generated (post-self-drop) flits/cycle/node — the effective
+     *  offered load the saturation search compares against. */
+    double generatedFlitRate = 0.0;
+    double avgLatency = 0.0;
+};
+
+/** Specification of one paper-style detection table. */
+struct TableSpec
+{
+    std::string title;
+
+    /** Base configuration; detector / lengths / rate are overridden
+     *  per cell. */
+    SimulationConfig base;
+
+    /** Detector spec with "%T" replaced by the threshold, e.g.
+     *  "ndm:%T" or "pdm:%T" or "timeout:%T". */
+    std::string detectorTemplate = "ndm:%T";
+
+    std::vector<Cycle> thresholds;
+    std::vector<std::string> sizeClasses; ///< length specs, e.g. "s"
+    std::vector<double> rates;            ///< flits/cycle/node
+    std::vector<std::string> rateLabels;  ///< column-group headers
+
+    Cycle warmup = 3000;
+    Cycle measure = 15000;
+
+    /** Independent seeds averaged per cell (seed, seed+1, ...). */
+    unsigned replications = 1;
+};
+
+/** All cells of a simulated table. */
+struct TableResult
+{
+    TableSpec spec;
+    /** cells[rate][size][threshold]. */
+    std::vector<std::vector<std::vector<CellResult>>> cells;
+};
+
+/** Runs table specs and saturation searches. */
+class ExperimentRunner
+{
+  public:
+    /** Optional per-cell progress callback (e.g. a dot to stderr). */
+    using Progress = std::function<void(const std::string &)>;
+
+    explicit ExperimentRunner(Progress progress = {});
+
+    /** Run every cell of @p spec (each cell is one simulation). */
+    TableResult runTable(const TableSpec &spec) const;
+
+    /**
+     * Render @p result in the paper's layout. When @p paper_ref is
+     * non-null it must be indexed [threshold][rate*sizes + size] and
+     * the rendering appends the paper's value in parentheses.
+     */
+    static TextTable formatTable(const TableResult &result,
+                                 const double *paper_ref = nullptr);
+
+    /**
+     * Estimate the saturation injection rate for @p base (pattern,
+     * lengths and all policies taken from it): the largest rate whose
+     * accepted throughput still tracks the offered load within
+     * @p slack (fractional). Bisection over [lo, hi].
+     */
+    double findSaturationRate(const SimulationConfig &base, double lo,
+                              double hi, double slack = 0.05,
+                              Cycle warmup = 2000,
+                              Cycle measure = 6000,
+                              unsigned iterations = 7) const;
+
+    /** Run a single cell. */
+    CellResult runCell(const SimulationConfig &config, Cycle warmup,
+                       Cycle measure) const;
+
+    /**
+     * Run a cell @p replications times with seeds config.seed,
+     * config.seed+1, ... and average the scalar results (detection
+     * rate carries a sample standard deviation; true-deadlock flags
+     * OR together).
+     */
+    CellResult runCellReplicated(const SimulationConfig &config,
+                                 Cycle warmup, Cycle measure,
+                                 unsigned replications) const;
+
+  private:
+    Progress progress_;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_CORE_EXPERIMENT_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Human-readable run reports.
+ *
+ * buildReport() renders everything a simulation measured into one
+ * multi-section text document: configuration echo, traffic and
+ * throughput summary, latency distribution, detection breakdown
+ * (with the oracle's true/false split and detection latency),
+ * recovery activity and channel-utilisation hot spots. Used by
+ * `examples/quickstart --report` and by downstream users who want a
+ * one-call summary of an experiment.
+ */
+
+#ifndef WORMNET_CORE_REPORT_HH
+#define WORMNET_CORE_REPORT_HH
+
+#include <string>
+
+#include "core/simulation.hh"
+
+namespace wormnet
+{
+
+/** Options controlling report verbosity. */
+struct ReportOptions
+{
+    /** Include the latency histogram dump. */
+    bool latencyHistogram = true;
+    /** Number of hottest channels to list (0 disables). */
+    unsigned hottestChannels = 5;
+};
+
+/** Render a full report for the simulation's measurement window. */
+std::string buildReport(const Simulation &sim,
+                        const ReportOptions &options = {});
+
+} // namespace wormnet
+
+#endif // WORMNET_CORE_REPORT_HH

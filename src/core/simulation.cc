@@ -1,0 +1,165 @@
+#include "core/simulation.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "topology/mesh.hh"
+#include "topology/mixed_torus.hh"
+#include "topology/torus.hh"
+
+namespace wormnet
+{
+
+SimulationConfig
+SimulationConfig::fromConfig(const Config &cfg)
+{
+    SimulationConfig c;
+    c.topology = cfg.getString("topology", c.topology);
+    c.radix = static_cast<unsigned>(cfg.getUint("radix", c.radix));
+    c.dims = static_cast<unsigned>(cfg.getUint("dims", c.dims));
+    c.radices = cfg.getString("radices", c.radices);
+    c.vcs = static_cast<unsigned>(cfg.getUint("vcs", c.vcs));
+    c.bufDepth =
+        static_cast<unsigned>(cfg.getUint("buf-depth", c.bufDepth));
+    c.injPorts =
+        static_cast<unsigned>(cfg.getUint("inj-ports", c.injPorts));
+    c.ejePorts =
+        static_cast<unsigned>(cfg.getUint("eje-ports", c.ejePorts));
+    c.routing = cfg.getString("routing", c.routing);
+    c.detector = cfg.getString("detector", c.detector);
+    c.recovery = cfg.getString("recovery", c.recovery);
+    c.selection = cfg.getString("selection", c.selection);
+    c.pattern = cfg.getString("pattern", c.pattern);
+    c.lengths = cfg.getString("lengths", c.lengths);
+    c.flitRate = cfg.getDouble("rate", c.flitRate);
+    c.injectionLimit =
+        cfg.getBool("injection-limit", c.injectionLimit);
+    c.injectionLimitFraction = cfg.getDouble(
+        "injection-limit-fraction", c.injectionLimitFraction);
+    c.oraclePeriod = cfg.getUint("oracle-period", c.oraclePeriod);
+    c.maxSourceQueue = cfg.getUint("max-source-queue",
+                                   c.maxSourceQueue);
+    c.seed = cfg.getUint("seed", c.seed);
+    return c;
+}
+
+Simulation::Simulation(const SimulationConfig &config)
+    : config_(config)
+{
+    if (!config.radices.empty()) {
+        if (config.topology != "torus")
+            fatal("mixed radices are only supported on tori");
+        std::vector<unsigned> radices;
+        std::stringstream ss(config.radices);
+        std::string item;
+        while (std::getline(ss, item, 'x'))
+            radices.push_back(
+                static_cast<unsigned>(std::stoul(item)));
+        topology_ =
+            std::make_unique<MixedRadixTorus>(std::move(radices));
+    } else if (config.topology == "torus") {
+        topology_ =
+            std::make_unique<KAryNCube>(config.radix, config.dims);
+    } else if (config.topology == "mesh") {
+        topology_ =
+            std::make_unique<KAryNMesh>(config.radix, config.dims);
+    } else {
+        fatal("unknown topology '", config.topology, "'");
+    }
+
+    pattern_ = makePattern(config.pattern, *topology_);
+    lengths_ = makeLengthDistribution(config.lengths);
+
+    RouterParams rp;
+    rp.netPorts = topology_->numNetPorts();
+    rp.injPorts = config.injPorts;
+    rp.ejePorts = config.ejePorts;
+    rp.vcs = config.vcs;
+    rp.bufDepth = config.bufDepth;
+    routing_ = makeRoutingFunction(config.routing, *topology_, rp);
+
+    detector_ = makeDetector(config.detector);
+    if (config.recovery != "none")
+        recovery_ = makeRecoveryManager(config.recovery);
+
+    NetworkParams np;
+    np.vcs = config.vcs;
+    np.bufDepth = config.bufDepth;
+    np.injPorts = config.injPorts;
+    np.ejePorts = config.ejePorts;
+    np.injectionLimit = config.injectionLimit;
+    np.injectionLimitFraction = config.injectionLimitFraction;
+    np.oraclePeriod = config.oraclePeriod;
+    np.maxSourceQueue = config.maxSourceQueue;
+    if (config.selection == "random")
+        np.selection = VcSelection::Random;
+    else if (config.selection == "firstfit")
+        np.selection = VcSelection::FirstFit;
+    else
+        fatal("unknown selection policy '", config.selection, "'");
+
+    network_ = std::make_unique<Network>(
+        *topology_, np, *routing_, *detector_, recovery_.get(),
+        *pattern_, *lengths_, config.flitRate, config.seed);
+}
+
+Simulation::~Simulation() = default;
+
+SimSummary
+Simulation::warmupAndMeasure(Cycle warmup, Cycle measure)
+{
+    network_->run(warmup);
+    network_->startMeasurement();
+    network_->run(measure);
+    return summary();
+}
+
+SimSummary
+Simulation::summary() const
+{
+    const SimStats &s = network_->stats();
+    SimSummary out;
+    out.measuredCycles = network_->now() - s.windowStart;
+    out.delivered = s.wDelivered;
+    out.detectedMessages = s.wDetectedMessages;
+    out.trueDetections = s.wTrueDetections;
+    out.falseDetections = s.wFalseDetections;
+    out.detectionRate = s.detectionRate();
+    out.acceptedFlitRate =
+        s.acceptedFlitRate(network_->now(), network_->numNodes());
+    out.offeredFlitRate = config_.flitRate;
+    out.generatedFlitRate =
+        s.generatedFlitRate(network_->now(), network_->numNodes());
+    out.avgLatency = s.latency.mean();
+    out.p50Latency = s.latencyHist.quantile(0.50);
+    out.p95Latency = s.latencyHist.quantile(0.95);
+    out.p99Latency = s.latencyHist.quantile(0.99);
+    out.recoveredDeliveries = s.wRecoveredDeliveries;
+    out.kills = s.wKills;
+    out.trueDeadlockedMessages = s.trueDeadlockedMessages;
+    return out;
+}
+
+std::string
+SimSummary::toString() const
+{
+    std::ostringstream os;
+    os << "measured cycles:        " << measuredCycles << '\n'
+       << "messages delivered:     " << delivered << '\n'
+       << "detected as deadlocked: " << detectedMessages << " ("
+       << detectionRate * 100.0 << " %)\n"
+       << "  oracle-confirmed:     " << trueDetections << '\n'
+       << "  false positives:      " << falseDetections << '\n'
+       << "offered load:           " << offeredFlitRate
+       << " flits/cycle/node\n"
+       << "accepted throughput:    " << acceptedFlitRate
+       << " flits/cycle/node\n"
+       << "mean latency:           " << avgLatency << " cycles\n"
+       << "latency p50/p95/p99:    " << p50Latency << " / "
+       << p95Latency << " / " << p99Latency << " cycles\n"
+       << "recovered deliveries:   " << recoveredDeliveries << '\n'
+       << "regressive kills:       " << kills << '\n';
+    return os.str();
+}
+
+} // namespace wormnet

@@ -1,0 +1,105 @@
+#include "detection/detector.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+#include "detection/ndm.hh"
+#include "detection/pdm.hh"
+#include "detection/source_timeout.hh"
+#include "detection/timeout.hh"
+
+namespace wormnet
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitColon(const std::string &spec)
+{
+    std::vector<std::string> parts;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ':'))
+        parts.push_back(item);
+    return parts;
+}
+
+Cycle
+parseCycle(const std::string &s, const char *what)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        fatal("bad ", what, " value '", s, "'");
+    return v;
+}
+
+} // namespace
+
+std::unique_ptr<DeadlockDetector>
+makeDetector(const std::string &spec)
+{
+    const auto parts = splitColon(spec);
+    if (parts.empty())
+        fatal("empty detector spec");
+    const std::string &kind = parts[0];
+
+    if (kind == "none")
+        return std::make_unique<NullDetector>();
+
+    if (kind == "ndm") {
+        NdmParams p;
+        if (parts.size() > 1)
+            p.t2 = parseCycle(parts[1], "ndm t2");
+        for (std::size_t i = 2; i < parts.size(); ++i) {
+            if (parts[i] == "coarse")
+                p.rearm = GpRearmPolicy::AllInRouter;
+            else if (parts[i] == "selective")
+                p.rearm = GpRearmPolicy::WaitersOnChannel;
+            else
+                p.t1 = parseCycle(parts[i], "ndm t1");
+        }
+        return std::make_unique<NdmDetector>(p);
+    }
+
+    if (kind == "pdm") {
+        PdmParams p;
+        if (parts.size() > 1)
+            p.threshold = parseCycle(parts[1], "pdm threshold");
+        for (std::size_t i = 2; i < parts.size(); ++i) {
+            if (parts[i] == "gated")
+                p.gateOccupancy = true;
+            else
+                fatal("unknown pdm option '", parts[i], "'");
+        }
+        return std::make_unique<PdmDetector>(p);
+    }
+
+    if (kind == "timeout") {
+        TimeoutParams p;
+        if (parts.size() > 1)
+            p.threshold = parseCycle(parts[1], "timeout threshold");
+        return std::make_unique<TimeoutDetector>(p);
+    }
+
+    if (kind == "src-age-timeout") {
+        Cycle th = 256;
+        if (parts.size() > 1)
+            th = parseCycle(parts[1], "src-age-timeout threshold");
+        return std::make_unique<SourceAgeTimeoutDetector>(th);
+    }
+
+    if (kind == "inj-stall-timeout") {
+        Cycle th = 32;
+        if (parts.size() > 1)
+            th = parseCycle(parts[1],
+                            "inj-stall-timeout threshold");
+        return std::make_unique<InjectionStallTimeoutDetector>(th);
+    }
+
+    fatal("unknown detector '", spec, "'");
+}
+
+} // namespace wormnet

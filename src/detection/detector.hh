@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Distributed deadlock-detection interface.
+ *
+ * Detectors are deliberately decoupled from the router data model:
+ * every hook carries exactly the local information the corresponding
+ * hardware would see (flit transmissions, VC occupancy, failed routing
+ * attempts and their feasible output channels). This mirrors the
+ * paper's constraint that detection must work "only with local
+ * information available at each router" — the interface makes it
+ * structurally impossible for a detector to peek at global state.
+ *
+ * Hook protocol (driven by sim::Network each cycle):
+ *  1. onRoutingFailed() for every blocked head (may return a verdict);
+ *     onMessageRouted() for every successful output-VC grant.
+ *  2. onFlitTransmitted() for every flit crossing an output physical
+ *     channel; onInputVcFreed() when a tail leaves an input VC.
+ *  3. onCycleEnd() once per router with the per-port transmit and
+ *     occupancy masks (drives the inactivity counters).
+ */
+
+#ifndef WORMNET_DETECTION_DETECTOR_HH
+#define WORMNET_DETECTION_DETECTOR_HH
+
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace wormnet
+{
+
+class Config;
+
+/** Static shape information handed to detectors at start-up. */
+struct DetectorContext
+{
+    NodeId numRouters = 0;
+    unsigned numInPorts = 0;  ///< per router, incl. injection ports
+    unsigned numOutPorts = 0; ///< per router, incl. ejection ports
+    unsigned vcs = 0;         ///< virtual channels per physical channel
+};
+
+/** Abstract distributed deadlock detector. */
+class DeadlockDetector
+{
+  public:
+    virtual ~DeadlockDetector() = default;
+
+    /** Size internal state; called once before the first cycle. */
+    virtual void init(const DetectorContext &ctx) = 0;
+
+    /**
+     * The head of the worm in (@p router, @p in_port, @p in_vc) failed
+     * to acquire any candidate output VC this cycle.
+     *
+     * @param feasible_ports bitmask of the feasible output physical
+     *        channels (every candidate returned by the routing
+     *        function; all of them were busy).
+     * @param input_pc_fully_busy all VCs of @p in_port hold worms.
+     * @param first_attempt true on the first failure for this head at
+     *        this router.
+     * @return true to mark the message as presumed deadlocked.
+     */
+    virtual bool onRoutingFailed(NodeId router, PortId in_port,
+                                 VcId in_vc, MsgId msg,
+                                 PortMask feasible_ports,
+                                 bool input_pc_fully_busy,
+                                 bool first_attempt, Cycle now) = 0;
+
+    /** A worm on (@p router, @p in_port, @p in_vc) was granted an
+     *  output VC (fires on every grant, first-try or not). */
+    virtual void
+    onMessageRouted(NodeId router, PortId in_port, VcId in_vc)
+    {
+        (void)router;
+        (void)in_port;
+        (void)in_vc;
+    }
+
+    /** A worm's tail left (@p router, @p in_port, @p in_vc). */
+    virtual void
+    onInputVcFreed(NodeId router, PortId in_port, VcId in_vc)
+    {
+        (void)router;
+        (void)in_port;
+        (void)in_vc;
+    }
+
+    /**
+     * Once per router per cycle, after the switch phase.
+     * @param tx_mask output ports that transmitted a flit this cycle
+     * @param occupied_mask output ports with >= 1 allocated VC
+     */
+    virtual void onCycleEnd(NodeId router, PortMask tx_mask,
+                            PortMask occupied_mask, Cycle now) = 0;
+
+    /**
+     * Source-side observation: the message injecting through
+     * (@p router, @p in_port, @p in_vc) could not push a flit this
+     * cycle (buffer back-pressure or port bandwidth). Source-timeout
+     * mechanisms (Reeves et al.; compressionless routing) detect
+     * here; router-centric mechanisms ignore it.
+     *
+     * @param age cycles since the message started injecting
+     * @param stall cycles since its last flit entered the network
+     * @return true to mark the message as presumed deadlocked.
+     */
+    virtual bool
+    onInjectionStalled(NodeId router, PortId in_port, VcId in_vc,
+                       MsgId msg, Cycle age, Cycle stall, Cycle now)
+    {
+        (void)router;
+        (void)in_port;
+        (void)in_vc;
+        (void)msg;
+        (void)age;
+        (void)stall;
+        (void)now;
+        return false;
+    }
+
+    /** Detector name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Build a detector from a spec string:
+ *   "ndm:<t2>[:t1][:coarse|selective]"  (default t1=1, selective)
+ *   "pdm:<threshold>[:gated]"
+ *   "timeout:<threshold>"            (header-blocked, Disha-style)
+ *   "src-age-timeout:<threshold>"    (Reeves et al.)
+ *   "inj-stall-timeout:<threshold>"  (compressionless routing)
+ *   "none"
+ */
+std::unique_ptr<DeadlockDetector>
+makeDetector(const std::string &spec);
+
+} // namespace wormnet
+
+#endif // WORMNET_DETECTION_DETECTOR_HH

@@ -1,0 +1,191 @@
+#include "detection/ndm.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+NdmDetector::NdmDetector(const NdmParams &params) : params_(params)
+{
+    if (params.t1 >= params.t2)
+        fatal("NDM requires t1 << t2; got t1=", params.t1,
+              " t2=", params.t2);
+}
+
+void
+NdmDetector::init(const DetectorContext &ctx)
+{
+    ctx_ = ctx;
+    const std::size_t outs =
+        std::size_t(ctx.numRouters) * ctx.numOutPorts;
+    const std::size_t ins =
+        std::size_t(ctx.numRouters) * ctx.numInPorts;
+    counters_.assign(outs, 0);
+    iFlags_.assign(outs, 0);
+    dtFlags_.assign(outs, 0);
+    gp_.assign(ins, 0); // P everywhere
+    waiting_.assign(ins * ctx.vcs, 0);
+}
+
+bool
+NdmDetector::onRoutingFailed(NodeId router, PortId in_port, VcId in_vc,
+                             MsgId, PortMask feasible_ports,
+                             bool input_pc_fully_busy,
+                             bool first_attempt, Cycle)
+{
+    waiting_[vcIdx(router, in_port, in_vc)] = feasible_ports;
+
+    if (first_attempt) {
+        if (!input_pc_fully_busy) {
+            // Not the last arrival on this physical channel: another
+            // message can still arrive behind it and will take over
+            // the flag.
+            gp_[inIdx(router, in_port)] = 0; // P
+            return false;
+        }
+        // Test whether all occupants of the requested channels were
+        // already blocked when this message arrived.
+        bool all_inactive = true;
+        PortMask m = feasible_ports;
+        while (m) {
+            const unsigned q = static_cast<unsigned>(__builtin_ctz(m));
+            m &= m - 1;
+            if (!iFlags_[outIdx(router, static_cast<PortId>(q))]) {
+                all_inactive = false;
+                break;
+            }
+        }
+        // Some occupant still advancing -> it may be the tree root:
+        // Generate. All blocked -> someone upstream holds the root
+        // position: Propagate.
+        gp_[inIdx(router, in_port)] = all_inactive ? 0 : 1;
+        return false;
+    }
+
+    // Subsequent attempts: detection requires G plus DT on every
+    // feasible output channel.
+    if (!gp_[inIdx(router, in_port)])
+        return false;
+    PortMask m = feasible_ports;
+    while (m) {
+        const unsigned q = static_cast<unsigned>(__builtin_ctz(m));
+        m &= m - 1;
+        if (!dtFlags_[outIdx(router, static_cast<PortId>(q))])
+            return false;
+    }
+    return true;
+}
+
+void
+NdmDetector::onMessageRouted(NodeId router, PortId in_port, VcId in_vc)
+{
+    // A worm on this input channel is advancing again: the last
+    // arrival is no longer waiting on the root of a blocked tree.
+    gp_[inIdx(router, in_port)] = 0; // P
+    waiting_[vcIdx(router, in_port, in_vc)] = 0;
+}
+
+void
+NdmDetector::onInputVcFreed(NodeId router, PortId in_port, VcId in_vc)
+{
+    gp_[inIdx(router, in_port)] = 0; // P
+    waiting_[vcIdx(router, in_port, in_vc)] = 0;
+}
+
+void
+NdmDetector::rearm(NodeId router, PortId out_port)
+{
+    // A previously-inactive channel transmitted: its occupant may have
+    // been replaced by a new advancing message — a new potential tree
+    // root (Figure 5). Re-arm Propagate flags to Generate.
+    if (params_.rearm == GpRearmPolicy::AllInRouter) {
+        for (PortId p = 0; p < ctx_.numInPorts; ++p)
+            gp_[inIdx(router, p)] = 1; // G
+        return;
+    }
+    // Selective: only input channels with a blocked head that was
+    // waiting on this output channel.
+    for (PortId p = 0; p < ctx_.numInPorts; ++p) {
+        bool waits = false;
+        for (VcId v = 0; v < ctx_.vcs; ++v) {
+            if (waiting_[vcIdx(router, p, v)] &
+                (PortMask(1) << out_port)) {
+                waits = true;
+                break;
+            }
+        }
+        if (waits)
+            gp_[inIdx(router, p)] = 1; // G
+    }
+}
+
+void
+NdmDetector::onCycleEnd(NodeId router, PortMask tx_mask,
+                        PortMask occupied_mask, Cycle)
+{
+    for (PortId q = 0; q < ctx_.numOutPorts; ++q) {
+        const std::size_t idx = outIdx(router, q);
+        const bool tx = (tx_mask >> q) & 1u;
+        if (tx) {
+            if (iFlags_[idx])
+                rearm(router, q);
+            counters_[idx] = 0;
+            iFlags_[idx] = 0;
+            dtFlags_[idx] = 0;
+            continue;
+        }
+        if ((occupied_mask >> q) & 1u) {
+            ++counters_[idx];
+            if (counters_[idx] > params_.t1)
+                iFlags_[idx] = 1;
+            if (counters_[idx] > params_.t2)
+                dtFlags_[idx] = 1;
+        } else {
+            // Channel drained (e.g. worm killed by regressive
+            // recovery): no occupant, nothing to time.
+            counters_[idx] = 0;
+            iFlags_[idx] = 0;
+            dtFlags_[idx] = 0;
+        }
+    }
+}
+
+std::string
+NdmDetector::name() const
+{
+    std::ostringstream os;
+    os << "ndm(t1=" << params_.t1 << ", t2=" << params_.t2 << ", "
+       << (params_.rearm == GpRearmPolicy::AllInRouter
+               ? "coarse"
+               : "selective")
+       << ")";
+    return os.str();
+}
+
+Cycle
+NdmDetector::counter(NodeId router, PortId out_port) const
+{
+    return counters_[outIdx(router, out_port)];
+}
+
+bool
+NdmDetector::iFlag(NodeId router, PortId out_port) const
+{
+    return iFlags_[outIdx(router, out_port)] != 0;
+}
+
+bool
+NdmDetector::dtFlag(NodeId router, PortId out_port) const
+{
+    return dtFlags_[outIdx(router, out_port)] != 0;
+}
+
+bool
+NdmDetector::gpFlag(NodeId router, PortId in_port) const
+{
+    return gp_[inIdx(router, in_port)] != 0;
+}
+
+} // namespace wormnet

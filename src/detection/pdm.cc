@@ -1,0 +1,88 @@
+#include "detection/pdm.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+PdmDetector::PdmDetector(const PdmParams &params) : params_(params)
+{
+    if (params.threshold < 1)
+        fatal("PDM threshold must be >= 1");
+}
+
+void
+PdmDetector::init(const DetectorContext &ctx)
+{
+    ctx_ = ctx;
+    const std::size_t outs =
+        std::size_t(ctx.numRouters) * ctx.numOutPorts;
+    counters_.assign(outs, 0);
+    ifFlags_.assign(outs, 0);
+}
+
+bool
+PdmDetector::onRoutingFailed(NodeId router, PortId, VcId, MsgId,
+                             PortMask feasible_ports, bool, bool,
+                             Cycle)
+{
+    // Deadlock presumed when every feasible output channel is both
+    // fully busy (implied by the failed attempt) and inactive for the
+    // timeout period.
+    PortMask m = feasible_ports;
+    while (m) {
+        const unsigned q = static_cast<unsigned>(__builtin_ctz(m));
+        m &= m - 1;
+        if (!ifFlags_[outIdx(router, static_cast<PortId>(q))])
+            return false;
+    }
+    return true;
+}
+
+void
+PdmDetector::onCycleEnd(NodeId router, PortMask tx_mask,
+                        PortMask occupied_mask, Cycle)
+{
+    for (PortId q = 0; q < ctx_.numOutPorts; ++q) {
+        const std::size_t idx = outIdx(router, q);
+        const bool tx = (tx_mask >> q) & 1u;
+        if (tx) {
+            counters_[idx] = 0;
+            ifFlags_[idx] = 0;
+            continue;
+        }
+        if (params_.gateOccupancy && !((occupied_mask >> q) & 1u)) {
+            counters_[idx] = 0;
+            ifFlags_[idx] = 0;
+            continue;
+        }
+        ++counters_[idx];
+        if (counters_[idx] > params_.threshold)
+            ifFlags_[idx] = 1;
+    }
+}
+
+std::string
+PdmDetector::name() const
+{
+    std::ostringstream os;
+    os << "pdm(th=" << params_.threshold
+       << (params_.gateOccupancy ? ", gated" : "") << ")";
+    return os.str();
+}
+
+Cycle
+PdmDetector::counter(NodeId router, PortId out_port) const
+{
+    return counters_[outIdx(router, out_port)];
+}
+
+bool
+PdmDetector::ifFlag(NodeId router, PortId out_port) const
+{
+    return ifFlags_[outIdx(router, out_port)] != 0;
+}
+
+} // namespace wormnet

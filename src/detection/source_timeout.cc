@@ -1,0 +1,49 @@
+#include "detection/source_timeout.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+SourceTimeoutDetectorBase::SourceTimeoutDetectorBase(Cycle threshold)
+    : threshold_(threshold)
+{
+    if (threshold < 1)
+        fatal("source timeout threshold must be >= 1");
+}
+
+bool
+SourceAgeTimeoutDetector::onInjectionStalled(NodeId, PortId, VcId,
+                                             MsgId, Cycle age, Cycle,
+                                             Cycle)
+{
+    return age > threshold_;
+}
+
+std::string
+SourceAgeTimeoutDetector::name() const
+{
+    std::ostringstream os;
+    os << "src-age-timeout(th=" << threshold_ << ")";
+    return os.str();
+}
+
+bool
+InjectionStallTimeoutDetector::onInjectionStalled(NodeId, PortId,
+                                                  VcId, MsgId, Cycle,
+                                                  Cycle stall, Cycle)
+{
+    return stall > threshold_;
+}
+
+std::string
+InjectionStallTimeoutDetector::name() const
+{
+    std::ostringstream os;
+    os << "inj-stall-timeout(th=" << threshold_ << ")";
+    return os.str();
+}
+
+} // namespace wormnet

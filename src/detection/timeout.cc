@@ -1,0 +1,62 @@
+#include "detection/timeout.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+TimeoutDetector::TimeoutDetector(const TimeoutParams &params)
+    : params_(params)
+{
+    if (params.threshold < 1)
+        fatal("timeout threshold must be >= 1");
+}
+
+void
+TimeoutDetector::init(const DetectorContext &ctx)
+{
+    ctx_ = ctx;
+    blockedSince_.assign(
+        std::size_t(ctx.numRouters) * ctx.numInPorts * ctx.vcs,
+        kNever);
+}
+
+bool
+TimeoutDetector::onRoutingFailed(NodeId router, PortId in_port,
+                                 VcId in_vc, MsgId, PortMask, bool,
+                                 bool first_attempt, Cycle now)
+{
+    const std::size_t idx = vcIdx(router, in_port, in_vc);
+    if (first_attempt) {
+        blockedSince_[idx] = now;
+        return false;
+    }
+    wn_assert(blockedSince_[idx] != kNever);
+    return now - blockedSince_[idx] > params_.threshold;
+}
+
+void
+TimeoutDetector::onMessageRouted(NodeId router, PortId in_port,
+                                 VcId in_vc)
+{
+    blockedSince_[vcIdx(router, in_port, in_vc)] = kNever;
+}
+
+void
+TimeoutDetector::onInputVcFreed(NodeId router, PortId in_port,
+                                VcId in_vc)
+{
+    blockedSince_[vcIdx(router, in_port, in_vc)] = kNever;
+}
+
+std::string
+TimeoutDetector::name() const
+{
+    std::ostringstream os;
+    os << "timeout(th=" << params_.threshold << ")";
+    return os.str();
+}
+
+} // namespace wormnet

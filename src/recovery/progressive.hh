@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Progressive (software-based) deadlock recovery, after Martínez,
+ * López, Duato & Pinkston, ICPP 1997.
+ *
+ * When a message is marked deadlocked, the node holding its header
+ * absorbs the worm into a local recovery buffer — one flit per node
+ * per cycle, like an extra consumption port — freeing the virtual
+ * channels it holds as the worm drains forward. Once the tail has
+ * been absorbed the message is re-sent to its destination through the
+ * (modelled) dedicated recovery path and counted as delivered after
+ *
+ *   softwareOverhead + perHopCost * distance(header node, dst)
+ *
+ * cycles. The recovery path itself is not a simulated set of channels
+ * (the paper's evaluation only requires that recovery frees the
+ * blocked resources and eventually delivers the message); the latency
+ * model keeps end-to-end latency statistics meaningful.
+ */
+
+#ifndef WORMNET_RECOVERY_PROGRESSIVE_HH
+#define WORMNET_RECOVERY_PROGRESSIVE_HH
+
+#include <queue>
+#include <vector>
+
+#include "recovery/recovery.hh"
+
+namespace wormnet
+{
+
+/** Configuration for ProgressiveRecovery. */
+struct ProgressiveParams
+{
+    /** Fixed software handling cost per recovered message, cycles. */
+    Cycle softwareOverhead = 32;
+    /** Cycles per remaining hop on the recovery path. */
+    Cycle perHopCost = 4;
+};
+
+/** Software-based progressive recovery manager. */
+class ProgressiveRecovery : public RecoveryManager
+{
+  public:
+    explicit ProgressiveRecovery(const ProgressiveParams &params);
+
+    void init(Network &net) override;
+    void onDeadlockDetected(MsgId msg) override;
+    void tick() override;
+    std::size_t pending() const override;
+    std::string name() const override;
+
+    const ProgressiveParams &params() const { return params_; }
+
+  private:
+    ProgressiveParams params_;
+    Network *net_ = nullptr;
+
+    /** Messages draining at each node (the header node). */
+    std::vector<std::vector<MsgId>> draining_;
+    /** Per-node round-robin position over the draining list. */
+    std::vector<std::size_t> drainRr_;
+    std::size_t numDraining_ = 0;
+
+    /** Fully absorbed messages awaiting delivery completion. */
+    struct PendingDelivery
+    {
+        Cycle when;
+        MsgId msg;
+        bool operator>(const PendingDelivery &o) const
+        {
+            return when > o.when;
+        }
+    };
+    std::priority_queue<PendingDelivery, std::vector<PendingDelivery>,
+                        std::greater<PendingDelivery>>
+        deliveries_;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_RECOVERY_PROGRESSIVE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deadlock-recovery interface.
+ *
+ * The detector marks messages as presumed deadlocked; a recovery
+ * manager owns what happens next. Two families are implemented:
+ *
+ *  - ProgressiveRecovery (software-based, after Martínez et al.
+ *    ICPP'97): the marked message is absorbed into a node-local
+ *    recovery buffer at the node holding its header (one flit per
+ *    node per cycle), freeing its virtual channels as the worm drains
+ *    forward, and is then delivered to its destination with a
+ *    modelled software + remaining-distance latency penalty.
+ *
+ *  - RegressiveRecovery (abort-and-retry, after compressionless
+ *    routing / Reeves et al.): the marked message is killed — all of
+ *    its flits are removed at once — and re-injected at its source
+ *    after a delay.
+ */
+
+#ifndef WORMNET_RECOVERY_RECOVERY_HH
+#define WORMNET_RECOVERY_RECOVERY_HH
+
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace wormnet
+{
+
+class Network;
+
+/** Abstract recovery manager driven by the Network. */
+class RecoveryManager
+{
+  public:
+    virtual ~RecoveryManager() = default;
+
+    /** Bind to the network; called once before the first cycle. */
+    virtual void init(Network &net) = 0;
+
+    /** The detector marked @p msg as presumed deadlocked. */
+    virtual void onDeadlockDetected(MsgId msg) = 0;
+
+    /** Called once per cycle after the switch phase. */
+    virtual void tick() = 0;
+
+    /** Messages currently being recovered (draining or in flight on
+     *  the recovery path). */
+    virtual std::size_t pending() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Build a recovery manager from a spec string:
+ *   "progressive[:overhead[:per_hop]]" | "regressive[:delay]" |
+ *   "disha[:tokens[:lane_hop_cost[:token_handoff]]]"
+ */
+std::unique_ptr<RecoveryManager>
+makeRecoveryManager(const std::string &spec);
+
+} // namespace wormnet
+
+#endif // WORMNET_RECOVERY_RECOVERY_HH

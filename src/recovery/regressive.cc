@@ -1,0 +1,73 @@
+#include "recovery/regressive.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "sim/network.hh"
+
+namespace wormnet
+{
+
+RegressiveRecovery::RegressiveRecovery(const RegressiveParams &params)
+    : params_(params)
+{
+}
+
+void
+RegressiveRecovery::init(Network &net)
+{
+    net_ = &net;
+    killList_.clear();
+}
+
+void
+RegressiveRecovery::onDeadlockDetected(MsgId msg)
+{
+    wn_assert(net_ != nullptr);
+    Message &m = net_->messages().get(msg);
+    wn_assert(m.status == MsgStatus::Active);
+    wn_assert(m.numLinks() > 0);
+
+    // Mark now so further verdicts this cycle are ignored; remove the
+    // flits at tick() (after the switch phase) so the cycle's
+    // transfers act on consistent state.
+    const PathLink head = m.headLink();
+    InputVc &vc = net_->router(head.node).inputVc(head.port, head.vc);
+    wn_assert(vc.msg == msg);
+    m.status = MsgStatus::Recovering;
+    vc.recovering = true;
+    killList_.push_back(msg);
+}
+
+void
+RegressiveRecovery::tick()
+{
+    wn_assert(net_ != nullptr);
+    for (const MsgId msg : killList_) {
+        // Linear back-off with deterministic per-message jitter so
+        // the members of a killed cycle do not retry in lockstep.
+        const Message &m = net_->messages().get(msg);
+        const Cycle backoff = params_.retryDelay * (m.retries + 1);
+        const Cycle jitter =
+            (static_cast<Cycle>(msg) * 2654435761u) %
+            (params_.retryDelay + 1);
+        net_->killAndRequeue(msg, backoff + jitter);
+    }
+    killList_.clear();
+}
+
+std::size_t
+RegressiveRecovery::pending() const
+{
+    return killList_.size();
+}
+
+std::string
+RegressiveRecovery::name() const
+{
+    std::ostringstream os;
+    os << "regressive(retry=" << params_.retryDelay << ")";
+    return os.str();
+}
+
+} // namespace wormnet

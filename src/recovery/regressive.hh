@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regressive (abort-and-retry) deadlock recovery, in the style of
+ * compressionless routing (Kim, Liu & Chien) and Reeves et al.: the
+ * marked message is killed — every flit it holds is removed and all
+ * of its virtual channels are released — and the message is
+ * re-injected at its source after a back-off delay.
+ */
+
+#ifndef WORMNET_RECOVERY_REGRESSIVE_HH
+#define WORMNET_RECOVERY_REGRESSIVE_HH
+
+#include <vector>
+
+#include "recovery/recovery.hh"
+
+namespace wormnet
+{
+
+/**
+ * Configuration for RegressiveRecovery.
+ *
+ * The actual delay before re-injection is
+ *   retryDelay * (retries) + jitter(msg)
+ * — linear back-off plus a deterministic per-message jitter. Without
+ * the jitter, the members of a killed cycle are re-injected in
+ * lockstep and can re-form the identical deadlock forever (the
+ * classic synchronised-retry livelock of abort-and-retry schemes).
+ */
+struct RegressiveParams
+{
+    /** Base back-off unit between the kill and the re-injection. */
+    Cycle retryDelay = 32;
+};
+
+/** Abort-and-retry recovery manager. */
+class RegressiveRecovery : public RecoveryManager
+{
+  public:
+    explicit RegressiveRecovery(const RegressiveParams &params);
+
+    void init(Network &net) override;
+    void onDeadlockDetected(MsgId msg) override;
+    void tick() override;
+    std::size_t pending() const override;
+    std::string name() const override;
+
+    const RegressiveParams &params() const { return params_; }
+
+  private:
+    RegressiveParams params_;
+    Network *net_ = nullptr;
+    /** Kills requested this cycle, applied at tick(). */
+    std::vector<MsgId> killList_;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_RECOVERY_REGRESSIVE_HH

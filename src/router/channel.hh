@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Virtual-channel state: flit FIFOs, input-side VC records and
+ * output-side VC allocation/credit records.
+ */
+
+#ifndef WORMNET_ROUTER_CHANNEL_HH
+#define WORMNET_ROUTER_CHANNEL_HH
+
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "router/flit.hh"
+
+namespace wormnet
+{
+
+/** Fixed-capacity ring buffer of flits. */
+class FlitFifo
+{
+  public:
+    explicit FlitFifo(std::size_t capacity = 4)
+        : buf_(capacity)
+    {
+        wn_assert(capacity >= 1);
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == buf_.size(); }
+
+    void
+    push(const Flit &flit)
+    {
+        wn_assert(!full());
+        buf_[(head_ + size_) % buf_.size()] = flit;
+        ++size_;
+    }
+
+    const Flit &
+    front() const
+    {
+        wn_assert(!empty());
+        return buf_[head_];
+    }
+
+    Flit
+    pop()
+    {
+        wn_assert(!empty());
+        Flit f = buf_[head_];
+        head_ = (head_ + 1) % buf_.size();
+        --size_;
+        return f;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<Flit> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Input-side virtual channel: a buffer plus the worm currently using
+ * it and its routing decision.
+ */
+struct InputVc
+{
+    explicit InputVc(std::size_t buf_depth) : fifo(buf_depth) {}
+
+    FlitFifo fifo;
+
+    /** Worm occupying this VC (set at head enqueue, cleared at tail
+     *  dequeue); kInvalidMsg when free. */
+    MsgId msg = kInvalidMsg;
+
+    /** @name Routing decision for the occupying worm's head. */
+    /// @{
+    bool routed = false;
+    PortId outPort = kInvalidPort;
+    VcId outVc = kInvalidVc;
+    Cycle allocCycle = kNever; ///< when the output VC was granted
+    /// @}
+
+    /** @name Blocked-header bookkeeping (detection support). */
+    /// @{
+    /** The current head already had >= 1 failed routing attempt. */
+    bool attempted = false;
+    /** Feasible output ports observed at the last failed attempt. */
+    PortMask lastFeasible = 0;
+    /** Cycle of the first failed attempt for the current head. */
+    Cycle headBlockedSince = kNever;
+    /// @}
+
+    /** The occupying message is draining into the recovery buffer. */
+    bool recovering = false;
+
+    bool free() const { return msg == kInvalidMsg; }
+
+    /** Reset per-worm state when the worm fully leaves the VC. */
+    void
+    release()
+    {
+        msg = kInvalidMsg;
+        routed = false;
+        outPort = kInvalidPort;
+        outVc = kInvalidVc;
+        allocCycle = kNever;
+        attempted = false;
+        lastFeasible = 0;
+        headBlockedSince = kNever;
+        recovering = false;
+    }
+};
+
+/**
+ * Output-side virtual channel: allocation record plus the credit count
+ * for the downstream buffer.
+ */
+struct OutputVc
+{
+    bool allocated = false;
+    MsgId msg = kInvalidMsg;
+    /** Input VC that owns this output VC while allocated. */
+    PortId srcPort = kInvalidPort;
+    VcId srcVc = kInvalidVc;
+    /** Free slots believed available in the downstream buffer. */
+    unsigned credits = 0;
+
+    void
+    release()
+    {
+        allocated = false;
+        msg = kInvalidMsg;
+        srcPort = kInvalidPort;
+        srcVc = kInvalidVc;
+    }
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_ROUTER_CHANNEL_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Flit: the unit of flow control in wormhole switching.
+ *
+ * A message is serialised into a HEAD flit (carrying, conceptually,
+ * the routing information), zero or more BODY flits, and a TAIL flit
+ * that releases the virtual channels the worm holds. Single-flit
+ * messages use HEAD_TAIL. The simulator keeps flits tiny: payload is
+ * not modelled, only the owning message id and the cycle at which the
+ * flit becomes visible at its current buffer (link staging).
+ */
+
+#ifndef WORMNET_ROUTER_FLIT_HH
+#define WORMNET_ROUTER_FLIT_HH
+
+#include "common/types.hh"
+
+namespace wormnet
+{
+
+/** Position of a flit within its message. */
+enum class FlitType : std::uint8_t
+{
+    Head,
+    Body,
+    Tail,
+    HeadTail, ///< single-flit message
+};
+
+/** True for Head and HeadTail. */
+inline bool
+isHeadFlit(FlitType t)
+{
+    return t == FlitType::Head || t == FlitType::HeadTail;
+}
+
+/** True for Tail and HeadTail. */
+inline bool
+isTailFlit(FlitType t)
+{
+    return t == FlitType::Tail || t == FlitType::HeadTail;
+}
+
+/** One flit in a virtual-channel buffer. */
+struct Flit
+{
+    MsgId msg = kInvalidMsg;
+    FlitType type = FlitType::Body;
+    /**
+     * First cycle at which this flit may be acted upon at the router
+     * holding it (models the one-cycle link/injection latency).
+     */
+    Cycle readyAt = 0;
+};
+
+/**
+ * Flit type for position @p index within a message of @p length flits.
+ */
+inline FlitType
+flitTypeAt(unsigned index, unsigned length)
+{
+    if (length == 1)
+        return FlitType::HeadTail;
+    if (index == 0)
+        return FlitType::Head;
+    if (index + 1 == length)
+        return FlitType::Tail;
+    return FlitType::Body;
+}
+
+} // namespace wormnet
+
+#endif // WORMNET_ROUTER_FLIT_HH

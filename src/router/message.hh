@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Message bookkeeping: lifecycle state, timestamps and the chain of
+ * virtual channels the worm currently occupies.
+ */
+
+#ifndef WORMNET_ROUTER_MESSAGE_HH
+#define WORMNET_ROUTER_MESSAGE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace wormnet
+{
+
+/** Lifecycle of a message. */
+enum class MsgStatus : std::uint8_t
+{
+    Queued,     ///< generated, waiting in the source queue
+    Active,     ///< at least partly in the network (injecting/moving)
+    Recovering, ///< marked deadlocked, draining into recovery buffer
+    Delivered,  ///< tail consumed at destination (or via recovery)
+    Killed,     ///< removed by regressive recovery, awaiting re-inject
+};
+
+/** One virtual channel held by a message's worm. */
+struct PathLink
+{
+    NodeId node = kInvalidNode;
+    PortId port = kInvalidPort;
+    VcId vc = kInvalidVc;
+};
+
+/**
+ * A message and its simulation state. The occupied-VC chain (tail end
+ * first) enables regressive recovery and the ground-truth oracle to
+ * walk the worm without scanning the whole network.
+ */
+struct Message
+{
+    MsgId id = kInvalidMsg;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    unsigned length = 0; ///< flits
+
+    Cycle genCycle = kNever;
+    Cycle injectStartCycle = kNever; ///< head flit entered injection VC
+    Cycle lastInjectCycle = kNever;  ///< newest flit entered injection VC
+    Cycle deliverCycle = kNever;
+
+    MsgStatus status = MsgStatus::Queued;
+    unsigned flitsInjected = 0; ///< pushed into the injection VC
+    unsigned flitsEjected = 0;  ///< consumed at dst or recovery buffer
+
+    /** Generated inside the measurement window (not warm-up). */
+    bool measured = false;
+
+    /** Times this message was marked deadlocked (can exceed 1 after
+     *  regressive re-injection). */
+    unsigned timesDetected = 0;
+    /** Times killed and re-injected by regressive recovery. */
+    unsigned retries = 0;
+    /** Delivered through the recovery path rather than the network. */
+    bool recovered = false;
+
+    /** @name Occupied-VC chain (front = closest to the source). */
+    /// @{
+    void
+    pushLink(NodeId node, PortId port, VcId vc)
+    {
+        links_.push_back(PathLink{node, port, vc});
+    }
+
+    void
+    popFrontLink()
+    {
+        wn_assert(frontIdx_ < links_.size());
+        ++frontIdx_;
+        if (frontIdx_ == links_.size()) {
+            links_.clear();
+            frontIdx_ = 0;
+        }
+    }
+
+    std::size_t numLinks() const { return links_.size() - frontIdx_; }
+
+    /** i-th held VC from the tail end (0 = oldest still held). */
+    const PathLink &
+    link(std::size_t i) const
+    {
+        wn_assert(frontIdx_ + i < links_.size());
+        return links_[frontIdx_ + i];
+    }
+
+    /** Newest held VC — where the head flit was last enqueued. */
+    const PathLink &
+    headLink() const
+    {
+        wn_assert(numLinks() > 0);
+        return links_.back();
+    }
+
+    void
+    clearLinks()
+    {
+        links_.clear();
+        frontIdx_ = 0;
+    }
+    /// @}
+
+  private:
+    std::vector<PathLink> links_;
+    std::size_t frontIdx_ = 0;
+};
+
+/** Dense store of all messages ever generated in a simulation. */
+class MessageStore
+{
+  public:
+    /** Create a new message; returns its id. */
+    MsgId
+    create(NodeId src, NodeId dst, unsigned length, Cycle now,
+           bool measured)
+    {
+        const MsgId id = static_cast<MsgId>(messages_.size());
+        Message m;
+        m.id = id;
+        m.src = src;
+        m.dst = dst;
+        m.length = length;
+        m.genCycle = now;
+        m.measured = measured;
+        messages_.push_back(std::move(m));
+        return id;
+    }
+
+    Message &
+    get(MsgId id)
+    {
+        wn_assert(id < messages_.size());
+        return messages_[id];
+    }
+
+    const Message &
+    get(MsgId id) const
+    {
+        wn_assert(id < messages_.size());
+        return messages_[id];
+    }
+
+    std::size_t size() const { return messages_.size(); }
+
+  private:
+    std::vector<Message> messages_;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_ROUTER_MESSAGE_HH

@@ -1,0 +1,62 @@
+#include "router/router.hh"
+
+namespace wormnet
+{
+
+Router::Router(NodeId node, const RouterParams &params)
+    : node_(node), params_(params)
+{
+    wn_assert(params.vcs >= 1);
+    wn_assert(params.bufDepth >= 1);
+    wn_assert(params.numOutPorts() <= 32,
+              " (PortMask is 32 bits wide)");
+
+    inputVcs_.reserve(params.numInPorts() * params.vcs);
+    for (unsigned i = 0; i < params.numInPorts() * params.vcs; ++i)
+        inputVcs_.emplace_back(params.bufDepth);
+
+    outputVcs_.resize(params.numOutPorts() * params.vcs);
+    for (auto &ovc : outputVcs_)
+        ovc.credits = params.bufDepth;
+
+    down_.resize(params.numOutPorts());
+    up_.resize(params.numInPorts());
+    lastTx_.assign(params.numOutPorts(), 0);
+    saRoundRobin.assign(params.numOutPorts(), 0);
+    injRoundRobin.assign(params.injPorts, 0);
+}
+
+bool
+Router::inputPcFullyBusy(PortId port) const
+{
+    for (VcId v = 0; v < params_.vcs; ++v) {
+        if (inputVc(port, v).free())
+            return false;
+    }
+    return true;
+}
+
+bool
+Router::outputPcOccupied(PortId port) const
+{
+    for (VcId v = 0; v < params_.vcs; ++v) {
+        if (outputVc(port, v).allocated)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+Router::busyNetworkOutputVcs() const
+{
+    unsigned busy = 0;
+    for (PortId p = 0; p < params_.netPorts; ++p) {
+        for (VcId v = 0; v < params_.vcs; ++v) {
+            if (outputVc(p, v).allocated)
+                ++busy;
+        }
+    }
+    return busy;
+}
+
+} // namespace wormnet

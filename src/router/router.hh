@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Router state container.
+ *
+ * A Router owns the input-side virtual-channel buffers, the
+ * output-side allocation/credit records and the link wiring, matching
+ * the paper's router model: a physical channel per network direction
+ * split into V virtual channels with private flit buffers, a crossbar
+ * that moves at most one flit per output physical channel per cycle,
+ * and multi-port injection/ejection ("four-port architecture").
+ *
+ * The per-cycle algorithms (routing, switch allocation, credit return)
+ * live in sim/Network; the Router provides the state plus small
+ * invariant-preserving helpers so those algorithms stay readable.
+ */
+
+#ifndef WORMNET_ROUTER_ROUTER_HH
+#define WORMNET_ROUTER_ROUTER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "router/channel.hh"
+
+namespace wormnet
+{
+
+/** Static shape of every router in a network. */
+struct RouterParams
+{
+    unsigned netPorts = 6;  ///< network in/out ports (2 per dim)
+    unsigned injPorts = 4;  ///< injection (input) ports
+    unsigned ejePorts = 4;  ///< ejection (output) ports
+    unsigned vcs = 3;       ///< virtual channels per physical channel
+    unsigned bufDepth = 4;  ///< flit buffer depth per virtual channel
+
+    unsigned numInPorts() const { return netPorts + injPorts; }
+    unsigned numOutPorts() const { return netPorts + ejePorts; }
+};
+
+/** Remote endpoint of a link (invalid for injection/ejection). */
+struct LinkEnd
+{
+    NodeId node = kInvalidNode;
+    PortId port = kInvalidPort;
+
+    bool valid() const { return node != kInvalidNode; }
+};
+
+/** One router's complete state. */
+class Router
+{
+  public:
+    Router(NodeId node, const RouterParams &params);
+
+    NodeId nodeId() const { return node_; }
+    const RouterParams &params() const { return params_; }
+
+    unsigned numInPorts() const { return params_.numInPorts(); }
+    unsigned numOutPorts() const { return params_.numOutPorts(); }
+    unsigned numVcs() const { return params_.vcs; }
+
+    /** Input ports >= netPorts are injection ports. */
+    bool
+    isInjectionPort(PortId in_port) const
+    {
+        return in_port >= params_.netPorts;
+    }
+
+    /** Output ports >= netPorts are ejection ports. */
+    bool
+    isEjectionPort(PortId out_port) const
+    {
+        return out_port >= params_.netPorts;
+    }
+
+    InputVc &
+    inputVc(PortId port, VcId vc)
+    {
+        wn_assert(port < numInPorts() && vc < params_.vcs);
+        return inputVcs_[port * params_.vcs + vc];
+    }
+
+    const InputVc &
+    inputVc(PortId port, VcId vc) const
+    {
+        wn_assert(port < numInPorts() && vc < params_.vcs);
+        return inputVcs_[port * params_.vcs + vc];
+    }
+
+    OutputVc &
+    outputVc(PortId port, VcId vc)
+    {
+        wn_assert(port < numOutPorts() && vc < params_.vcs);
+        return outputVcs_[port * params_.vcs + vc];
+    }
+
+    const OutputVc &
+    outputVc(PortId port, VcId vc) const
+    {
+        wn_assert(port < numOutPorts() && vc < params_.vcs);
+        return outputVcs_[port * params_.vcs + vc];
+    }
+
+    /** All virtual channels of input physical channel @p port busy? */
+    bool inputPcFullyBusy(PortId port) const;
+
+    /** Any output VC of @p port currently allocated to a worm? */
+    bool outputPcOccupied(PortId port) const;
+
+    /** Count of allocated output VCs on *network* ports (used by the
+     *  injection-limitation mechanism). */
+    unsigned busyNetworkOutputVcs() const;
+
+    /** @name Link wiring, set once by the Network. */
+    /// @{
+    LinkEnd &downstream(PortId out_port) { return down_[out_port]; }
+    const LinkEnd &
+    downstream(PortId out_port) const
+    {
+        return down_[out_port];
+    }
+
+    LinkEnd &upstream(PortId in_port) { return up_[in_port]; }
+    const LinkEnd &
+    upstream(PortId in_port) const
+    {
+        return up_[in_port];
+    }
+    /// @}
+
+    /** @name Per-output-port dynamic state. */
+    /// @{
+    Cycle lastTx(PortId out_port) const { return lastTx_[out_port]; }
+    void
+    noteTx(PortId out_port, Cycle now)
+    {
+        lastTx_[out_port] = now;
+    }
+    /// @}
+
+    /** @name Arbitration state (round-robin pointers). */
+    /// @{
+    /** Per-output-port pointer for switch allocation fairness. */
+    std::vector<unsigned> saRoundRobin;
+    /** Per-injection-port pointer for VC refill fairness. */
+    std::vector<unsigned> injRoundRobin;
+    /// @}
+
+  private:
+    NodeId node_;
+    RouterParams params_;
+    std::vector<InputVc> inputVcs_;
+    std::vector<OutputVc> outputVcs_;
+    std::vector<LinkEnd> down_;
+    std::vector<LinkEnd> up_;
+    std::vector<Cycle> lastTx_;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_ROUTER_ROUTER_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Routing functions.
+ *
+ * A routing function maps (current node, destination, arrival VC) to
+ * the set of output virtual channels a head flit may request. The
+ * Network then grants one of the free candidates (selection policy)
+ * or records a failed attempt (which drives deadlock detection).
+ *
+ * Implemented algorithms:
+ *  - TrueFullyAdaptiveRouting: any minimal direction, any virtual
+ *    channel — the unrestricted algorithm the paper pairs with
+ *    deadlock recovery.
+ *  - DimensionOrderRouting: deterministic baseline; on tori the escape
+ *    deadlock-freedom is provided by dateline virtual-channel classes
+ *    (Dally/Seitz), on meshes all VCs are usable uniformly.
+ *  - DuatoProtocolRouting: deadlock-avoidance baseline — adaptive
+ *    minimal routing on the upper VCs with a dimension-order escape
+ *    layer on the lower VC class(es) (Duato's methodology).
+ */
+
+#ifndef WORMNET_ROUTING_ROUTING_HH
+#define WORMNET_ROUTING_ROUTING_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "router/router.hh"
+#include "topology/topology.hh"
+
+namespace wormnet
+{
+
+/** One candidate: an output port plus the VCs allowed on it. */
+struct RouteCandidate
+{
+    PortId port = kInvalidPort;
+    /** Bit v set: virtual channel v of @p port may be requested. */
+    std::uint32_t vcMask = 0;
+};
+
+/** Abstract routing function. */
+class RoutingFunction
+{
+  public:
+    /**
+     * @param topo network topology (kept by reference)
+     * @param params router shape (ports, VCs)
+     */
+    RoutingFunction(const Topology &topo, const RouterParams &params);
+    virtual ~RoutingFunction() = default;
+
+    /**
+     * Compute the candidate output VCs for a head flit of a message
+     * to @p dst whose header currently sits at @p current on input
+     * (@p in_port, @p in_vc). When current == dst the candidates are
+     * the ejection ports (all VCs), for every algorithm.
+     *
+     * @param out cleared and filled with the candidates.
+     */
+    void route(NodeId current, NodeId dst, PortId in_port, VcId in_vc,
+               std::vector<RouteCandidate> &out) const;
+
+    /**
+     * True when the algorithm may use every virtual channel of a
+     * physical channel interchangeably — the condition under which
+     * the paper's detection mechanisms monitor physical (rather than
+     * virtual) channel activity.
+     */
+    virtual bool usesAllVcsUniformly() const = 0;
+
+    virtual std::string name() const = 0;
+
+  protected:
+    /** Network-port candidates only; ejection handled by route(). */
+    virtual void networkCandidates(
+        NodeId current, NodeId dst, PortId in_port, VcId in_vc,
+        std::vector<RouteCandidate> &out) const = 0;
+
+    /** Mask with bits [0, vcs) set. */
+    std::uint32_t allVcsMask() const;
+
+    const Topology &topo_;
+    RouterParams params_;
+};
+
+/** Any minimal direction, any virtual channel. */
+class TrueFullyAdaptiveRouting : public RoutingFunction
+{
+  public:
+    using RoutingFunction::RoutingFunction;
+
+    bool usesAllVcsUniformly() const override { return true; }
+    std::string name() const override { return "tfa"; }
+
+  protected:
+    void networkCandidates(NodeId current, NodeId dst, PortId in_port,
+                           VcId in_vc,
+                           std::vector<RouteCandidate>
+                               &out) const override;
+};
+
+/**
+ * Deterministic dimension-order routing. On tori, virtual channels 0
+ * and 1 form the dateline classes of the traversed ring (requires
+ * >= 2 VCs); on meshes all VCs are used uniformly.
+ */
+class DimensionOrderRouting : public RoutingFunction
+{
+  public:
+    DimensionOrderRouting(const Topology &topo,
+                          const RouterParams &params);
+
+    bool
+    usesAllVcsUniformly() const override
+    {
+        return !topo_.wraparound();
+    }
+    std::string name() const override { return "dor"; }
+
+    /**
+     * Dateline VC class for a hop in @p dim, direction @p positive,
+     * from coordinate @p cur_c to destination coordinate @p dst_c:
+     * 0 before crossing the wraparound edge, 1 after.
+     */
+    static VcId datelineVc(bool positive, unsigned cur_c,
+                           unsigned dst_c);
+
+  protected:
+    void networkCandidates(NodeId current, NodeId dst, PortId in_port,
+                           VcId in_vc,
+                           std::vector<RouteCandidate>
+                               &out) const override;
+};
+
+/**
+ * Duato-protocol fully adaptive routing with escape channels:
+ * VCs >= escapeVcs() are fully adaptive (any minimal direction);
+ * the lower VCs form a dimension-order escape layer (with dateline
+ * classes on tori). Deadlock-avoidance baseline; needs no detection.
+ */
+class DuatoProtocolRouting : public RoutingFunction
+{
+  public:
+    DuatoProtocolRouting(const Topology &topo,
+                         const RouterParams &params);
+
+    bool usesAllVcsUniformly() const override { return false; }
+    std::string name() const override { return "duato"; }
+
+    /** VCs reserved for the escape layer (2 on tori, 1 on meshes). */
+    unsigned escapeVcs() const { return escapeVcs_; }
+
+  protected:
+    void networkCandidates(NodeId current, NodeId dst, PortId in_port,
+                           VcId in_vc,
+                           std::vector<RouteCandidate>
+                               &out) const override;
+
+  private:
+    unsigned escapeVcs_;
+};
+
+/**
+ * West-first turn-model routing (Glass & Ni), meshes only: all "-x"
+ * hops are taken first (deterministically), after which the message
+ * routes fully adaptively among the remaining minimal directions —
+ * none of which can be "-x" again, so the west-first turn
+ * restriction makes the network deadlock-free with a single virtual
+ * channel. Partially-adaptive deadlock-avoidance baseline.
+ */
+class WestFirstRouting : public RoutingFunction
+{
+  public:
+    WestFirstRouting(const Topology &topo, const RouterParams &params);
+
+    bool usesAllVcsUniformly() const override { return true; }
+    std::string name() const override { return "westfirst"; }
+
+  protected:
+    void networkCandidates(NodeId current, NodeId dst, PortId in_port,
+                           VcId in_vc,
+                           std::vector<RouteCandidate>
+                               &out) const override;
+};
+
+/**
+ * Build a routing function from a name:
+ * "tfa" | "dor" | "duato" | "westfirst". fatal() on unknown names.
+ */
+std::unique_ptr<RoutingFunction>
+makeRoutingFunction(const std::string &name, const Topology &topo,
+                    const RouterParams &params);
+
+} // namespace wormnet
+
+#endif // WORMNET_ROUTING_ROUTING_HH

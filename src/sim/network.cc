@@ -1,0 +1,721 @@
+#include "sim/network.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "recovery/recovery.hh"
+#include "sim/oracle.hh"
+
+namespace wormnet
+{
+
+Network::Network(const Topology &topo, const NetworkParams &params,
+                 RoutingFunction &routing, DeadlockDetector &detector,
+                 RecoveryManager *recovery, TrafficPattern &pattern,
+                 LengthDistribution &lengths, double flit_rate,
+                 std::uint64_t seed)
+    : topo_(topo), params_(params), routing_(routing),
+      detector_(detector), recovery_(recovery), pattern_(pattern),
+      lengths_(lengths), rng_(seed)
+{
+    routerParams_.netPorts = topo.numNetPorts();
+    routerParams_.injPorts = params.injPorts;
+    routerParams_.ejePorts = params.ejePorts;
+    routerParams_.vcs = params.vcs;
+    routerParams_.bufDepth = params.bufDepth;
+
+    if (params.injPorts < 1 || params.ejePorts < 1)
+        fatal("need at least one injection and one ejection port");
+    if (lengths.maxLength() < 1)
+        fatal("length distribution produces empty messages");
+
+    const NodeId n = topo.numNodes();
+    routers_.reserve(n);
+    for (NodeId i = 0; i < n; ++i)
+        routers_.emplace_back(i, routerParams_);
+
+    // Wire the network links following the port convention.
+    for (NodeId i = 0; i < n; ++i) {
+        for (unsigned d = 0; d < topo.numDims(); ++d) {
+            for (const bool positive : {true, false}) {
+                const PortId q = Topology::outPort(d, positive);
+                const NodeId peer = topo.neighbor(i, d, positive);
+                if (peer == kInvalidNode)
+                    continue; // mesh edge
+                const PortId peer_in = Topology::peerInPort(q);
+                routers_[i].downstream(q) = LinkEnd{peer, peer_in};
+                routers_[peer].upstream(peer_in) = LinkEnd{i, q};
+            }
+        }
+    }
+
+    sourceQueues_.resize(n);
+    generators_.reserve(n);
+    for (NodeId i = 0; i < n; ++i)
+        generators_.emplace_back(i, pattern, lengths, flit_rate,
+                                 rng_.split());
+
+    txMask_.assign(n, 0);
+    txCount_.assign(std::size_t(n) * routerParams_.numOutPorts(), 0);
+
+    injectionLimitCount_ = static_cast<std::size_t>(
+        params.injectionLimitFraction *
+        (routerParams_.netPorts * routerParams_.vcs));
+
+    DetectorContext ctx;
+    ctx.numRouters = n;
+    ctx.numInPorts = routerParams_.numInPorts();
+    ctx.numOutPorts = routerParams_.numOutPorts();
+    ctx.vcs = routerParams_.vcs;
+    detector_.init(ctx);
+
+    if (recovery_)
+        recovery_->init(*this);
+}
+
+void
+Network::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+void
+Network::startMeasurement()
+{
+    measuring_ = true;
+    stats_.startWindow(now_);
+    std::fill(txCount_.begin(), txCount_.end(), 0);
+}
+
+void
+Network::setFlitRate(double flit_rate)
+{
+    for (auto &gen : generators_)
+        gen.setFlitRate(flit_rate);
+}
+
+std::size_t
+Network::totalQueued() const
+{
+    std::size_t total = 0;
+    for (const auto &q : sourceQueues_)
+        total += q.size();
+    return total;
+}
+
+MsgId
+Network::injectMessage(NodeId src, NodeId dst, unsigned length)
+{
+    wn_assert(src < numNodes() && dst < numNodes());
+    wn_assert(length >= 1);
+    const MsgId id =
+        messages_.create(src, dst, length, now_, measuring_);
+    ++stats_.generated;
+    if (measuring_) {
+        ++stats_.wGenerated;
+        stats_.wGeneratedFlits += length;
+    }
+    trace(TraceEvent::Generated, id, src);
+    sourceQueues_[src].push_back(id);
+    return id;
+}
+
+void
+Network::step()
+{
+    std::fill(txMask_.begin(), txMask_.end(), 0);
+
+    generateAndInject();
+    routeAll();
+    switchAll();
+
+    // Credits freed by switch pops become visible next cycle.
+    for (const auto &cr : creditReturns_) {
+        OutputVc &o = routers_[cr.node].outputVc(cr.port, cr.vc);
+        ++o.credits;
+        wn_assert(o.credits <= routerParams_.bufDepth);
+    }
+    creditReturns_.clear();
+
+    if (recovery_) {
+        recovery_->tick();
+        for (const auto &cr : creditReturns_) {
+            OutputVc &o = routers_[cr.node].outputVc(cr.port, cr.vc);
+            ++o.credits;
+            wn_assert(o.credits <= routerParams_.bufDepth);
+        }
+        creditReturns_.clear();
+    }
+
+    detectorCycleEnd();
+    oracleTick();
+
+    ++now_;
+}
+
+bool
+Network::injectionAllowed(const Router &rt) const
+{
+    return rt.busyNetworkOutputVcs() <= injectionLimitCount_;
+}
+
+void
+Network::generateAndInject()
+{
+    // Re-inject messages killed by regressive recovery.
+    while (!pendingReinjects_.empty() &&
+           pendingReinjects_.top().when <= now_) {
+        const MsgId id = pendingReinjects_.top().msg;
+        pendingReinjects_.pop();
+        Message &m = messages_.get(id);
+        wn_assert(m.status == MsgStatus::Killed);
+        m.status = MsgStatus::Queued;
+        trace(TraceEvent::Reinjected, id, m.src);
+        sourceQueues_[m.src].push_front(id);
+    }
+
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        if (auto gen = generators_[node].tick()) {
+            if (params_.maxSourceQueue == 0 ||
+                sourceQueues_[node].size() < params_.maxSourceQueue) {
+                const MsgId id = messages_.create(
+                    node, gen->dst, gen->length, now_, measuring_);
+                ++stats_.generated;
+                if (measuring_) {
+                    ++stats_.wGenerated;
+                    stats_.wGeneratedFlits += gen->length;
+                }
+                trace(TraceEvent::Generated, id, node);
+                sourceQueues_[node].push_back(id);
+            }
+        }
+        tryStartInjection(node);
+    }
+}
+
+void
+Network::tryStartInjection(NodeId node)
+{
+    Router &rt = routers_[node];
+    const unsigned vcs = routerParams_.vcs;
+
+    for (unsigned pi = 0; pi < routerParams_.injPorts; ++pi) {
+        const PortId port =
+            static_cast<PortId>(routerParams_.netPorts + pi);
+
+        // Refill in-progress worms first (1 flit/cycle/port).
+        VcId pushed_vc = kInvalidVc;
+        for (unsigned k = 0; k < vcs && pushed_vc == kInvalidVc;
+             ++k) {
+            const VcId v =
+                static_cast<VcId>((rt.injRoundRobin[pi] + k) % vcs);
+            InputVc &vc = rt.inputVc(port, v);
+            if (vc.free())
+                continue;
+            Message &m = messages_.get(vc.msg);
+            if (m.flitsInjected == 0 ||
+                m.flitsInjected >= m.length || vc.fifo.full())
+                continue;
+            vc.fifo.push(Flit{m.id,
+                              flitTypeAt(m.flitsInjected, m.length),
+                              now_ + 1});
+            ++m.flitsInjected;
+            m.lastInjectCycle = now_;
+            rt.injRoundRobin[pi] = (v + 1) % vcs;
+            pushed_vc = v;
+        }
+
+        // Source-side stall observation for the timeout mechanisms
+        // of Reeves et al. and compressionless routing: any
+        // incompletely injected worm that did not push a flit this
+        // cycle is reported to the detector.
+        for (VcId v = 0; v < vcs; ++v) {
+            if (v == pushed_vc)
+                continue;
+            const InputVc &vc = rt.inputVc(port, v);
+            if (vc.free() || vc.recovering)
+                continue;
+            const Message &m = messages_.get(vc.msg);
+            if (m.status != MsgStatus::Active ||
+                m.flitsInjected == 0 ||
+                m.flitsInjected >= m.length)
+                continue;
+            const bool verdict = detector_.onInjectionStalled(
+                node, port, v, m.id, now_ - m.injectStartCycle,
+                now_ - m.lastInjectCycle, now_);
+            if (verdict)
+                handleDetection(m.id);
+        }
+        if (pushed_vc != kInvalidVc)
+            continue;
+
+        // Otherwise try to start a new message on this port.
+        if (sourceQueues_[node].empty())
+            continue;
+        if (params_.injectionLimit && !injectionAllowed(rt))
+            continue;
+        VcId free_vc = kInvalidVc;
+        for (VcId v = 0; v < vcs; ++v) {
+            const InputVc &vc = rt.inputVc(port, v);
+            if (vc.free() && vc.fifo.empty()) {
+                free_vc = v;
+                break;
+            }
+        }
+        if (free_vc == kInvalidVc)
+            continue;
+
+        const MsgId id = sourceQueues_[node].front();
+        sourceQueues_[node].pop_front();
+        Message &m = messages_.get(id);
+        wn_assert(m.status == MsgStatus::Queued);
+        m.status = MsgStatus::Active;
+        m.injectStartCycle = now_;
+        m.lastInjectCycle = now_;
+        m.flitsInjected = 1;
+        enqueueFlit(rt, port, free_vc,
+                    Flit{id, flitTypeAt(0, m.length), now_ + 1});
+        ++inFlight_;
+        ++stats_.injected;
+        if (measuring_)
+            ++stats_.wInjected;
+        trace(TraceEvent::InjectStart, id, node, port, free_vc);
+    }
+}
+
+void
+Network::routeAll()
+{
+    const unsigned in_ports = routerParams_.numInPorts();
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        Router &rt = routers_[node];
+        const unsigned offset = (now_ + node) % in_ports;
+        for (unsigned i = 0; i < in_ports; ++i) {
+            const PortId port =
+                static_cast<PortId>((offset + i) % in_ports);
+            for (VcId v = 0; v < routerParams_.vcs; ++v)
+                routeOne(rt, port, v);
+        }
+    }
+}
+
+bool
+Network::downstreamVcFree(const Router &rt, PortId out_port,
+                          VcId vc) const
+{
+    if (rt.isEjectionPort(out_port))
+        return true;
+    const LinkEnd &down = rt.downstream(out_port);
+    if (!down.valid())
+        return false; // dangling mesh-edge port
+    const InputVc &dvc = routers_[down.node].inputVc(down.port, vc);
+    return dvc.free() && dvc.fifo.empty();
+}
+
+void
+Network::routeOne(Router &rt, PortId port, VcId v)
+{
+    InputVc &vc = rt.inputVc(port, v);
+    if (vc.free() || vc.routed || vc.recovering || vc.fifo.empty())
+        return;
+    const Flit &head = vc.fifo.front();
+    if (head.readyAt > now_ || !isHeadFlit(head.type))
+        return;
+
+    const Message &m = messages_.get(vc.msg);
+    routing_.route(rt.nodeId(), m.dst, port, v, candScratch_);
+
+    freeScratch_.clear();
+    PortMask feasible = 0;
+    for (const auto &cand : candScratch_) {
+        feasible |= PortMask(1) << cand.port;
+        std::uint32_t mask = cand.vcMask;
+        while (mask) {
+            const VcId v2 =
+                static_cast<VcId>(__builtin_ctz(mask));
+            mask &= mask - 1;
+            const OutputVc &out = rt.outputVc(cand.port, v2);
+            if (!out.allocated &&
+                downstreamVcFree(rt, cand.port, v2))
+                freeScratch_.push_back(PortVc{cand.port, v2});
+        }
+    }
+
+    if (!freeScratch_.empty()) {
+        const PortVc pick =
+            params_.selection == VcSelection::Random
+                ? freeScratch_[rng_.nextBounded(freeScratch_.size())]
+                : freeScratch_.front();
+        OutputVc &out = rt.outputVc(pick.port, pick.vc);
+        wn_assert(out.credits == routerParams_.bufDepth);
+        out.allocated = true;
+        out.msg = vc.msg;
+        out.srcPort = port;
+        out.srcVc = v;
+        vc.routed = true;
+        vc.outPort = pick.port;
+        vc.outVc = pick.vc;
+        vc.allocCycle = now_;
+        vc.attempted = false;
+        vc.lastFeasible = 0;
+        vc.headBlockedSince = kNever;
+        detector_.onMessageRouted(rt.nodeId(), port, v);
+        trace(TraceEvent::Routed, vc.msg, rt.nodeId(), pick.port,
+              pick.vc);
+        return;
+    }
+
+    const bool first = !vc.attempted;
+    if (first) {
+        vc.attempted = true;
+        vc.headBlockedSince = now_;
+        trace(TraceEvent::Blocked, vc.msg, rt.nodeId(), port, v);
+    }
+    vc.lastFeasible = feasible;
+    const bool verdict = detector_.onRoutingFailed(
+        rt.nodeId(), port, v, vc.msg, feasible,
+        rt.inputPcFullyBusy(port), first, now_);
+    if (verdict)
+        handleDetection(vc.msg);
+}
+
+void
+Network::handleDetection(MsgId msg)
+{
+    Message &m = messages_.get(msg);
+    if (m.status == MsgStatus::Recovering)
+        return;
+    ++stats_.detections;
+    if (measuring_) {
+        ++stats_.wDetectionEvents;
+        if (m.timesDetected == 0)
+            ++stats_.wDetectedMessages;
+        const auto &deadlocked = deadlockedNow();
+        if (std::binary_search(deadlocked.begin(), deadlocked.end(),
+                               msg))
+            ++stats_.wTrueDetections;
+        else
+            ++stats_.wFalseDetections;
+    }
+    ++m.timesDetected;
+    for (const auto &entry : deadlockFirstSeen_) {
+        if (entry.first == msg) {
+            stats_.detectionLatency.add(
+                static_cast<double>(now_ - entry.second));
+            break;
+        }
+    }
+    trace(TraceEvent::Detected, msg,
+          m.numLinks() > 0 ? m.headLink().node : kInvalidNode);
+    if (recovery_)
+        recovery_->onDeadlockDetected(msg);
+}
+
+void
+Network::switchAll()
+{
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        Router &rt = routers_[node];
+        for (PortId q = 0; q < routerParams_.numOutPorts(); ++q) {
+            // Each allocated output VC names its owning input VC, so
+            // the arbiter only has to look at vcs candidates.
+            const unsigned vcs = routerParams_.vcs;
+            int winner = -1;
+            for (unsigned k = 0; k < vcs; ++k) {
+                const unsigned v2 = (rt.saRoundRobin[q] + k) % vcs;
+                const OutputVc &out =
+                    rt.outputVc(q, static_cast<VcId>(v2));
+                if (!out.allocated)
+                    continue;
+                if (!rt.isEjectionPort(q) && out.credits == 0)
+                    continue;
+                const InputVc &vc =
+                    rt.inputVc(out.srcPort, out.srcVc);
+                wn_assert(vc.routed && vc.outPort == q);
+                if (vc.recovering || vc.fifo.empty())
+                    continue;
+                if (vc.allocCycle >= now_)
+                    continue; // routed this very cycle
+                const Flit &f = vc.fifo.front();
+                if (f.readyAt > now_)
+                    continue;
+                wn_assert(f.msg == out.msg);
+                winner = static_cast<int>(v2);
+                break;
+            }
+            if (winner < 0)
+                continue;
+            const OutputVc &out =
+                rt.outputVc(q, static_cast<VcId>(winner));
+            transferFlit(rt, q, out.srcPort, out.srcVc);
+            rt.saRoundRobin[q] = (winner + 1) % vcs;
+            txMask_[node] |= PortMask(1) << q;
+        }
+    }
+}
+
+void
+Network::transferFlit(Router &rt, PortId out_port, PortId in_port,
+                      VcId in_vc)
+{
+    InputVc &vc = rt.inputVc(in_port, in_vc);
+    const VcId out_vc = vc.outVc;
+    OutputVc &out = rt.outputVc(out_port, out_vc);
+
+    const Flit f = popFlit(rt, in_port, in_vc);
+    rt.noteTx(out_port, now_);
+    ++txCount_[std::size_t(rt.nodeId()) *
+                   routerParams_.numOutPorts() +
+               out_port];
+
+    if (rt.isEjectionPort(out_port)) {
+        Message &m = messages_.get(f.msg);
+        ++m.flitsEjected;
+        ++stats_.flitsDelivered;
+        if (measuring_)
+            ++stats_.wFlitsDelivered;
+        if (isTailFlit(f.type)) {
+            out.release();
+            markDelivered(f.msg, false);
+        }
+        return;
+    }
+
+    wn_assert(out.credits > 0);
+    --out.credits;
+    const LinkEnd &down = rt.downstream(out_port);
+    wn_assert(down.valid());
+    enqueueFlit(routers_[down.node], down.port, out_vc,
+                Flit{f.msg, f.type, now_ + 1});
+    if (isTailFlit(f.type))
+        out.release();
+}
+
+Flit
+Network::popFlit(Router &rt, PortId port, VcId v)
+{
+    InputVc &vc = rt.inputVc(port, v);
+    const Flit f = vc.fifo.pop();
+
+    const LinkEnd &up = rt.upstream(port);
+    if (up.valid())
+        creditReturns_.push_back(CreditReturn{up.node, up.port, v});
+
+    if (isTailFlit(f.type)) {
+        Message &m = messages_.get(f.msg);
+        wn_assert(m.numLinks() > 0);
+        const PathLink &oldest = m.link(0);
+        wn_assert(oldest.node == rt.nodeId() &&
+                  oldest.port == port && oldest.vc == v);
+        m.popFrontLink();
+        vc.release();
+        detector_.onInputVcFreed(rt.nodeId(), port, v);
+    }
+    return f;
+}
+
+void
+Network::enqueueFlit(Router &rt, PortId port, VcId v,
+                     const Flit &flit)
+{
+    InputVc &vc = rt.inputVc(port, v);
+    if (isHeadFlit(flit.type)) {
+        wn_assert(vc.free() && vc.fifo.empty());
+        vc.msg = flit.msg;
+        messages_.get(flit.msg).pushLink(rt.nodeId(), port, v);
+    }
+    wn_assert(vc.msg == flit.msg);
+    vc.fifo.push(flit);
+}
+
+void
+Network::markDelivered(MsgId msg, bool via_recovery)
+{
+    Message &m = messages_.get(msg);
+    wn_assert(m.numLinks() == 0);
+    wn_assert(m.status == MsgStatus::Active ||
+              m.status == MsgStatus::Recovering);
+    m.status = MsgStatus::Delivered;
+    m.deliverCycle = now_;
+    trace(via_recovery ? TraceEvent::DeliveredRecovered
+                       : TraceEvent::Delivered,
+          msg, m.dst);
+    ++stats_.delivered;
+    wn_assert(inFlight_ > 0);
+    --inFlight_;
+    if (via_recovery) {
+        m.recovered = true;
+        m.flitsEjected = m.length;
+        ++stats_.recoveredDeliveries;
+    }
+    if (measuring_) {
+        ++stats_.wDelivered;
+        if (via_recovery) {
+            ++stats_.wRecoveredDeliveries;
+            stats_.wFlitsDelivered += m.length;
+        }
+        const double lat = static_cast<double>(now_ - m.genCycle);
+        stats_.latency.add(lat);
+        stats_.latencyHist.add(now_ - m.genCycle);
+        if (m.injectStartCycle != kNever)
+            stats_.netLatency.add(
+                static_cast<double>(now_ - m.injectStartCycle));
+    }
+}
+
+void
+Network::killAndRequeue(MsgId msg, Cycle reinject_delay)
+{
+    Message &m = messages_.get(msg);
+    wn_assert(m.status == MsgStatus::Active ||
+              m.status == MsgStatus::Recovering);
+
+    // A worm killed while its header is routed (possible with
+    // source-side detection) may hold a forward output allocation
+    // whose head flit has not crossed yet; release it explicitly —
+    // the per-link walk below only restores *upstream* allocations.
+    if (m.numLinks() > 0) {
+        const PathLink head = m.headLink();
+        const InputVc &hvc =
+            routers_[head.node].inputVc(head.port, head.vc);
+        if (hvc.routed) {
+            OutputVc &o =
+                routers_[head.node].outputVc(hvc.outPort, hvc.outVc);
+            if (o.allocated && o.msg == msg)
+                o.release();
+        }
+    }
+
+    for (std::size_t i = 0; i < m.numLinks(); ++i) {
+        const PathLink &link = m.link(i);
+        Router &rt = routers_[link.node];
+        InputVc &vc = rt.inputVc(link.port, link.vc);
+        wn_assert(vc.msg == msg);
+
+        const LinkEnd &up = rt.upstream(link.port);
+        if (up.valid()) {
+            OutputVc &o =
+                routers_[up.node].outputVc(up.port, link.vc);
+            if (o.allocated && o.msg == msg)
+                o.release();
+            // The buffer is about to be emptied: the full credit
+            // budget is available again.
+            o.credits = routerParams_.bufDepth;
+        }
+
+        vc.fifo.clear();
+        vc.release();
+        detector_.onInputVcFreed(link.node, link.port, link.vc);
+    }
+    m.clearLinks();
+    m.flitsInjected = 0;
+    m.flitsEjected = 0;
+    m.status = MsgStatus::Killed;
+    ++m.retries;
+    ++stats_.kills;
+    trace(TraceEvent::Killed, msg, m.src);
+    if (measuring_)
+        ++stats_.wKills;
+    wn_assert(inFlight_ > 0);
+    --inFlight_;
+    pendingReinjects_.push(Reinject{now_ + reinject_delay, msg});
+}
+
+bool
+Network::drainHeaderFlit(MsgId msg, FlitType &type)
+{
+    Message &m = messages_.get(msg);
+    wn_assert(m.status == MsgStatus::Recovering);
+    wn_assert(m.numLinks() > 0);
+    const PathLink head = m.headLink();
+    Router &rt = routers_[head.node];
+    InputVc &vc = rt.inputVc(head.port, head.vc);
+    wn_assert(vc.msg == msg && vc.recovering);
+    if (vc.fifo.empty() || vc.fifo.front().readyAt > now_)
+        return false;
+    const Flit f = popFlit(rt, head.port, head.vc);
+    ++m.flitsEjected; // consumed into the recovery buffer
+    type = f.type;
+    return true;
+}
+
+void
+Network::detectorCycleEnd()
+{
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        const Router &rt = routers_[node];
+        PortMask occupied = 0;
+        for (PortId q = 0; q < routerParams_.numOutPorts(); ++q) {
+            if (rt.outputPcOccupied(q))
+                occupied |= PortMask(1) << q;
+        }
+        detector_.onCycleEnd(node, txMask_[node], occupied, now_);
+    }
+}
+
+double
+Network::channelUtilization(NodeId node, PortId out_port) const
+{
+    const Cycle span = now_ - stats_.windowStart;
+    if (span == 0)
+        return 0.0;
+    return static_cast<double>(channelTxCount(node, out_port)) /
+           static_cast<double>(span);
+}
+
+RunningStat
+Network::utilizationSummary() const
+{
+    RunningStat out;
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        for (PortId q = 0; q < routerParams_.netPorts; ++q) {
+            if (routers_[node].downstream(q).valid())
+                out.add(channelUtilization(node, q));
+        }
+    }
+    return out;
+}
+
+const std::vector<MsgId> &
+Network::deadlockedNow()
+{
+    if (oracleCacheCycle_ != now_) {
+        oracleCache_ = findDeadlockedMessages(*this);
+        oracleCacheCycle_ = now_;
+    }
+    return oracleCache_;
+}
+
+void
+Network::oracleTick()
+{
+    if (params_.oraclePeriod == 0 ||
+        now_ % params_.oraclePeriod != 0)
+        return;
+    const auto &deadlocked = deadlockedNow();
+    stats_.currentlyDeadlocked = deadlocked.size();
+
+    // Persistence tracking: how long do true deadlocks last?
+    std::vector<std::pair<MsgId, Cycle>> next;
+    next.reserve(deadlocked.size());
+    for (const MsgId id : deadlocked) {
+        Cycle first = now_;
+        bool known = false;
+        for (const auto &entry : deadlockFirstSeen_) {
+            if (entry.first == id) {
+                first = entry.second;
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            ++stats_.trueDeadlockedMessages;
+        next.emplace_back(id, first);
+        stats_.maxDeadlockPersistence =
+            std::max(stats_.maxDeadlockPersistence, now_ - first);
+    }
+    deadlockFirstSeen_ = std::move(next);
+}
+
+} // namespace wormnet

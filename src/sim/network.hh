@@ -1,0 +1,322 @@
+/**
+ * @file
+ * The cycle-driven wormhole network simulator.
+ *
+ * Network owns the routers, the message store, the per-node source
+ * queues and traffic generators, and advances the whole system one
+ * clock cycle at a time. Each step() executes, in order:
+ *
+ *   1. traffic generation and message injection (gated by the
+ *      injection-limitation mechanism of López & Duato when enabled);
+ *   2. routing + virtual-channel allocation for every head flit
+ *      (failed attempts drive the pluggable deadlock detector, whose
+ *      verdicts are handed to the recovery manager);
+ *   3. switch allocation and flit transfer — at most one flit per
+ *      output physical channel per cycle, one-cycle link latency,
+ *      credit-based backpressure;
+ *   4. recovery-manager tick (progressive drains, delayed
+ *      re-injections);
+ *   5. per-router detector cycle-end hooks (inactivity counters);
+ *   6. periodic ground-truth oracle bookkeeping.
+ *
+ * Timing matches the paper's model: routing, crossbar traversal and
+ * link traversal each take one clock cycle; each virtual channel has a
+ * private flit buffer; every node has multiple injection and ejection
+ * ports ("four-port architecture").
+ */
+
+#ifndef WORMNET_SIM_NETWORK_HH
+#define WORMNET_SIM_NETWORK_HH
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "detection/detector.hh"
+#include "router/message.hh"
+#include "router/router.hh"
+#include "routing/routing.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
+#include "topology/topology.hh"
+#include "traffic/generator.hh"
+
+namespace wormnet
+{
+
+class RecoveryManager;
+
+/** How the allocator picks among multiple free candidate VCs. */
+enum class VcSelection : std::uint8_t
+{
+    Random,   ///< uniform among the free candidates
+    FirstFit, ///< first free candidate in routing-function order
+};
+
+/** Network-level knobs (router shape lives in RouterParams). */
+struct NetworkParams
+{
+    unsigned vcs = 3;
+    unsigned bufDepth = 4;
+    unsigned injPorts = 4;
+    unsigned ejePorts = 4;
+
+    /** Enable the injection-limitation mechanism [López & Duato]. */
+    bool injectionLimit = true;
+    /**
+     * A node may inject a new message only while the number of busy
+     * (allocated) virtual channels on its network output ports does
+     * not exceed fraction * (netPorts * vcs), rounded down.
+     */
+    double injectionLimitFraction = 0.4;
+
+    VcSelection selection = VcSelection::Random;
+
+    /** Cycles between ground-truth oracle sweeps (0 disables). */
+    Cycle oraclePeriod = 128;
+
+    /** Cap on messages queued per source before generation stalls
+     *  (keeps saturated runs bounded; 0 = unbounded). */
+    std::size_t maxSourceQueue = 0;
+};
+
+/** The simulator core. */
+class Network
+{
+  public:
+    /**
+     * @param topo topology (kept by reference, not owned)
+     * @param params network knobs
+     * @param routing routing function (not owned)
+     * @param detector deadlock detector (not owned)
+     * @param recovery recovery manager (not owned, may be nullptr:
+     *        verdicts are then counted but nothing is freed)
+     * @param pattern traffic destination pattern (not owned)
+     * @param lengths message length distribution (not owned)
+     * @param flit_rate offered load in flits/cycle/node
+     * @param seed master random seed
+     */
+    Network(const Topology &topo, const NetworkParams &params,
+            RoutingFunction &routing, DeadlockDetector &detector,
+            RecoveryManager *recovery, TrafficPattern &pattern,
+            LengthDistribution &lengths, double flit_rate,
+            std::uint64_t seed);
+
+    /** Advance one clock cycle. */
+    void step();
+
+    /** Advance @p cycles clock cycles. */
+    void run(Cycle cycles);
+
+    /** Reset windowed statistics; subsequent messages are measured. */
+    void startMeasurement();
+
+    Cycle now() const { return now_; }
+
+    /** @name Component access. */
+    /// @{
+    const Topology &topology() const { return topo_; }
+    const NetworkParams &params() const { return params_; }
+    const RouterParams &routerParams() const { return routerParams_; }
+    const RoutingFunction &routing() const { return routing_; }
+
+    NodeId numNodes() const { return topo_.numNodes(); }
+
+    Router &router(NodeId node) { return routers_[node]; }
+    const Router &router(NodeId node) const { return routers_[node]; }
+
+    MessageStore &messages() { return messages_; }
+    const MessageStore &messages() const { return messages_; }
+
+    SimStats &stats() { return stats_; }
+    const SimStats &stats() const { return stats_; }
+
+    std::size_t sourceQueueLength(NodeId node) const
+    {
+        return sourceQueues_[node].size();
+    }
+
+    /** Total messages waiting in all source queues. */
+    std::size_t totalQueued() const;
+
+    /** Messages currently inside the network (injecting/blocked). */
+    std::size_t inFlight() const { return inFlight_; }
+    /// @}
+
+    /** Change the offered load on every node (saturation sweeps). */
+    void setFlitRate(double flit_rate);
+
+    /** Attach (or detach with nullptr) an event tracer. Not owned. */
+    void attachTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** @name Channel utilisation (measurement window). */
+    /// @{
+    /** Flits transmitted on (node, out_port) during the window. */
+    std::uint64_t
+    channelTxCount(NodeId node, PortId out_port) const
+    {
+        return txCount_[std::size_t(node) *
+                            routerParams_.numOutPorts() +
+                        out_port];
+    }
+
+    /** Utilisation (flits/cycle) of one output physical channel. */
+    double channelUtilization(NodeId node, PortId out_port) const;
+
+    /** Distribution of utilisation over all *network* channels. */
+    RunningStat utilizationSummary() const;
+    /// @}
+
+    /**
+     * Hand-inject a specific message (testing and the paper-figure
+     * scenarios). Bypasses the generators but follows the normal
+     * injection path: the message is queued at @p src and injected as
+     * capacity allows.
+     * @return the new message id.
+     */
+    MsgId injectMessage(NodeId src, NodeId dst, unsigned length);
+
+    /** @name Recovery-manager services. */
+    /// @{
+    /**
+     * Pop one ready flit from @p msg's header VC into the node-local
+     * recovery buffer (progressive recovery). Maintains credits, link
+     * chains and detector hooks exactly as a switch traversal would.
+     * @param[out] type the popped flit's type when successful.
+     * @return false when no flit was ready this cycle.
+     */
+    bool drainHeaderFlit(MsgId msg, FlitType &type);
+
+    /**
+     * Mark @p msg delivered now (via the recovery path when
+     * @p via_recovery). The message must not hold any VC.
+     */
+    void markDelivered(MsgId msg, bool via_recovery);
+
+    /**
+     * Regressive recovery: remove @p msg's flits from every buffer it
+     * occupies, release its VCs and credits, and re-queue it at its
+     * source after @p reinject_delay cycles.
+     */
+    void killAndRequeue(MsgId msg, Cycle reinject_delay);
+    /// @}
+
+    /**
+     * Ground-truth: message ids currently truly deadlocked (computed
+     * by the oracle, memoised per cycle).
+     */
+    const std::vector<MsgId> &deadlockedNow();
+
+    /** Downstream input VC of output (port, vc) can accept a new
+     *  worm. Ejection ports are always ready. (Also used by the
+     *  ground-truth oracle.) */
+    bool downstreamVcFree(const Router &rt, PortId out_port,
+                          VcId vc) const;
+
+  private:
+    void generateAndInject();
+    void tryStartInjection(NodeId node);
+    void routeAll();
+    void routeOne(Router &rt, PortId port, VcId vc);
+    void switchAll();
+    void transferFlit(Router &rt, PortId out_port, PortId in_port,
+                      VcId in_vc);
+    void detectorCycleEnd();
+    void oracleTick();
+
+    /** Enqueue @p flit into (router, port, vc), maintaining the
+     *  message/link bookkeeping on head flits. */
+    void enqueueFlit(Router &rt, PortId port, VcId vc,
+                     const Flit &flit);
+
+    /** Pop the front flit of (router, port, vc) with tail/credit
+     *  bookkeeping shared by switch traversal and recovery drain. */
+    Flit popFlit(Router &rt, PortId port, VcId vc);
+
+    /** Injection-limitation check for @p node. */
+    bool injectionAllowed(const Router &rt) const;
+
+    /** Record a deadlock verdict for @p msg and invoke recovery. */
+    void handleDetection(MsgId msg);
+
+    /** Emit a trace record when a tracer is attached. */
+    void
+    trace(TraceEvent event, MsgId msg, NodeId node = kInvalidNode,
+          PortId port = kInvalidPort, VcId vc = kInvalidVc)
+    {
+        if (tracer_)
+            tracer_->record(now_, event, msg, node, port, vc);
+    }
+
+    const Topology &topo_;
+    NetworkParams params_;
+    RouterParams routerParams_;
+    RoutingFunction &routing_;
+    DeadlockDetector &detector_;
+    RecoveryManager *recovery_;
+    TrafficPattern &pattern_;
+    LengthDistribution &lengths_;
+
+    Rng rng_;
+    Cycle now_ = 0;
+    bool measuring_ = false;
+    Tracer *tracer_ = nullptr;
+
+    std::vector<Router> routers_;
+    MessageStore messages_;
+    std::vector<std::deque<MsgId>> sourceQueues_;
+    std::vector<NodeGenerator> generators_;
+
+    /** (cycle, msg) pairs waiting for regressive re-injection. */
+    struct Reinject
+    {
+        Cycle when;
+        MsgId msg;
+        bool operator>(const Reinject &o) const
+        {
+            return when > o.when;
+        }
+    };
+    std::priority_queue<Reinject, std::vector<Reinject>,
+                        std::greater<Reinject>>
+        pendingReinjects_;
+
+    /** Per-router output-port transmit mask for the current cycle. */
+    std::vector<PortMask> txMask_;
+
+    /** Windowed per-channel transmit counters. */
+    std::vector<std::uint64_t> txCount_;
+
+    /** Deferred credit returns: (node, out_port, vc). */
+    struct CreditReturn
+    {
+        NodeId node;
+        PortId port;
+        VcId vc;
+    };
+    std::vector<CreditReturn> creditReturns_;
+
+    /** Scratch candidate buffer for the routing phase. */
+    std::vector<RouteCandidate> candScratch_;
+    std::vector<PortVc> freeScratch_;
+
+    std::size_t inFlight_ = 0;
+    std::size_t injectionLimitCount_ = 0;
+
+    SimStats stats_;
+
+    /** @name Oracle memoisation and persistence tracking. */
+    /// @{
+    Cycle oracleCacheCycle_ = kNever;
+    std::vector<MsgId> oracleCache_;
+    /** msg -> cycle first seen deadlocked (dense map by MsgId). */
+    std::vector<std::pair<MsgId, Cycle>> deadlockFirstSeen_;
+    /// @}
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_SIM_NETWORK_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ground-truth deadlock oracle.
+ *
+ * Computes, from a global snapshot of the network, the set of
+ * messages that are *truly* deadlocked: blocked messages that can
+ * never advance no matter how the future unfolds. The analysis is the
+ * standard "can eventually advance" fixpoint (cf. Warnakulasuriya &
+ * Pinkston's deadlock characterisation):
+ *
+ *   - every non-blocked message can eventually advance (destinations
+ *     always consume; recovery buffers always drain);
+ *   - a blocked message can eventually advance if some candidate
+ *     output VC is already reusable, or is held by a message that can
+ *     eventually advance (which will eventually pull its tail through
+ *     and release the VC).
+ *
+ * The complement of the fixpoint is the truly deadlocked set. The
+ * oracle is used only to *label* detector verdicts as true or false
+ * and to validate the "detects all deadlocks" claim — it never feeds
+ * back into routing, detection or recovery.
+ */
+
+#ifndef WORMNET_SIM_ORACLE_HH
+#define WORMNET_SIM_ORACLE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wormnet
+{
+
+class Network;
+
+/** Ids of all truly deadlocked messages, ascending. */
+std::vector<MsgId> findDeadlockedMessages(const Network &net);
+
+} // namespace wormnet
+
+#endif // WORMNET_SIM_ORACLE_HH

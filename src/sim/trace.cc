@@ -1,0 +1,111 @@
+#include "sim/trace.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+const char *
+traceEventName(TraceEvent event)
+{
+    switch (event) {
+      case TraceEvent::Generated:
+        return "generated";
+      case TraceEvent::InjectStart:
+        return "inject";
+      case TraceEvent::Routed:
+        return "routed";
+      case TraceEvent::Blocked:
+        return "blocked";
+      case TraceEvent::Detected:
+        return "DETECTED";
+      case TraceEvent::Killed:
+        return "killed";
+      case TraceEvent::Reinjected:
+        return "reinjected";
+      case TraceEvent::Delivered:
+        return "delivered";
+      case TraceEvent::DeliveredRecovered:
+        return "delivered-recovered";
+    }
+    return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : buf_(capacity)
+{
+    wn_assert(capacity >= 1);
+}
+
+void
+Tracer::record(Cycle cycle, TraceEvent event, MsgId msg, NodeId node,
+               PortId port, VcId vc)
+{
+    const std::size_t idx = (head_ + size_) % buf_.size();
+    buf_[idx] = TraceRecord{cycle, event, msg, node, port, vc};
+    if (size_ < buf_.size())
+        ++size_;
+    else
+        head_ = (head_ + 1) % buf_.size();
+    ++total_;
+}
+
+const TraceRecord &
+Tracer::at(std::size_t i) const
+{
+    wn_assert(i < size_);
+    return buf_[(head_ + i) % buf_.size()];
+}
+
+std::vector<TraceRecord>
+Tracer::messageHistory(MsgId msg) const
+{
+    std::vector<TraceRecord> out;
+    for (std::size_t i = 0; i < size_; ++i) {
+        const TraceRecord &r = at(i);
+        if (r.msg == msg)
+            out.push_back(r);
+    }
+    return out;
+}
+
+std::size_t
+Tracer::countEvent(TraceEvent event) const
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < size_; ++i)
+        count += at(i).event == event;
+    return count;
+}
+
+std::string
+Tracer::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < size_; ++i) {
+        const TraceRecord &r = at(i);
+        os << r.cycle << ' ' << traceEventName(r.event) << " msg="
+           << r.msg;
+        if (r.node != kInvalidNode) {
+            os << " @" << r.node;
+            if (r.port != kInvalidPort) {
+                os << ':' << r.port;
+                if (r.vc != kInvalidVc)
+                    os << '.' << unsigned(r.vc);
+            }
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+void
+Tracer::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    total_ = 0;
+}
+
+} // namespace wormnet

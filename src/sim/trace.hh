@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lightweight event tracing for simulations.
+ *
+ * A Tracer is a fixed-capacity ring buffer of message lifecycle
+ * events (generation, injection, per-hop routing, blocking,
+ * detection, recovery, delivery). Attach one to a Network with
+ * Network::attachTracer(); recording is a couple of stores per
+ * event, so tracing a full run is cheap, and the ring bounds memory
+ * on long runs. Intended uses: debugging choreographed scenarios,
+ * post-mortem of detection decisions, and the figure walk-through
+ * example.
+ */
+
+#ifndef WORMNET_SIM_TRACE_HH
+#define WORMNET_SIM_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wormnet
+{
+
+/** Message lifecycle events recorded by the Network. */
+enum class TraceEvent : std::uint8_t
+{
+    Generated,          ///< created by a traffic source
+    InjectStart,        ///< head flit entered an injection VC
+    Routed,             ///< head granted an output VC at a router
+    Blocked,            ///< first failed routing attempt at a router
+    Detected,           ///< marked presumed-deadlocked
+    Killed,             ///< removed by regressive recovery
+    Reinjected,         ///< re-queued at the source after a kill
+    Delivered,          ///< consumed at the destination
+    DeliveredRecovered, ///< delivered through the recovery path
+};
+
+/** Human-readable name of a trace event. */
+const char *traceEventName(TraceEvent event);
+
+/** One recorded event. */
+struct TraceRecord
+{
+    Cycle cycle = 0;
+    TraceEvent event = TraceEvent::Generated;
+    MsgId msg = kInvalidMsg;
+    NodeId node = kInvalidNode;
+    PortId port = kInvalidPort;
+    VcId vc = kInvalidVc;
+};
+
+/** Fixed-capacity ring buffer of TraceRecords. */
+class Tracer
+{
+  public:
+    explicit Tracer(std::size_t capacity = 65536);
+
+    /** Append a record (drops the oldest when full). */
+    void record(Cycle cycle, TraceEvent event, MsgId msg,
+                NodeId node = kInvalidNode,
+                PortId port = kInvalidPort, VcId vc = kInvalidVc);
+
+    /** Records currently retained, oldest first. */
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** i-th retained record (0 = oldest). */
+    const TraceRecord &at(std::size_t i) const;
+
+    /** Total records ever recorded (including dropped ones). */
+    std::uint64_t totalRecorded() const { return total_; }
+
+    /** All retained records for one message, oldest first. */
+    std::vector<TraceRecord> messageHistory(MsgId msg) const;
+
+    /** Count of retained records with the given event type. */
+    std::size_t countEvent(TraceEvent event) const;
+
+    /** Multi-line text dump ("cycle event msg @node:port.vc"). */
+    std::string toString() const;
+
+    void clear();
+
+  private:
+    std::vector<TraceRecord> buf_;
+    std::size_t head_ = 0; ///< index of the oldest record
+    std::size_t size_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_SIM_TRACE_HH

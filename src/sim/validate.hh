@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural invariant checker for the whole network state.
+ *
+ * validateNetworkInvariants() cross-checks every mutually-referential
+ * piece of simulator state at a cycle boundary and panics on the
+ * first violation. It is deliberately exhaustive and O(network +
+ * messages); tests sprinkle it through randomised runs so that any
+ * bookkeeping bug in the kernel (allocation back-pointers, credit
+ * accounting, worm chains, flit conservation) fails loudly and close
+ * to its cause instead of corrupting statistics silently.
+ *
+ * Invariants checked:
+ *  1. A free input VC has an empty FIFO and no routing decision; an
+ *     occupied one holds only flits of its worm.
+ *  2. routed input VCs and allocated output VCs point at each other
+ *     consistently and agree on the message.
+ *  3. Credits equal buffer depth minus downstream occupancy (network
+ *     ports) or stay at full depth (ejection ports).
+ *  4. An allocated output VC's downstream input VC carries the same
+ *     worm, or is still empty (header in flight).
+ *  5. Every Active/Recovering message's link chain matches exactly
+ *     the set of input VCs claiming it, links are wired head-to-tail
+ *     along real links, and its in-network flit count equals
+ *     flitsInjected - flitsEjected.
+ *  6. Delivered/Queued/Killed messages hold no resources.
+ */
+
+#ifndef WORMNET_SIM_VALIDATE_HH
+#define WORMNET_SIM_VALIDATE_HH
+
+namespace wormnet
+{
+
+class Network;
+
+/** Panic (wn_assert) on the first violated invariant. */
+void validateNetworkInvariants(const Network &net);
+
+} // namespace wormnet
+
+#endif // WORMNET_SIM_VALIDATE_HH

@@ -1,0 +1,87 @@
+#include "topology/mesh.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+KAryNMesh::KAryNMesh(unsigned radix, unsigned dims)
+    : radix_(radix), dims_(dims)
+{
+    if (radix < 2)
+        fatal("KAryNMesh: radix must be >= 2, got ", radix);
+    if (dims < 1 || dims > kMaxDims)
+        fatal("KAryNMesh: dims must be in [1, ", kMaxDims, "], got ",
+              dims);
+
+    NodeId n = 1;
+    stride_[0] = 1;
+    for (unsigned d = 0; d < dims; ++d) {
+        const NodeId prev = n;
+        n *= radix;
+        if (n / radix != prev)
+            fatal("KAryNMesh: ", radix, "^", dims, " overflows NodeId");
+        stride_[d + 1] = n;
+    }
+    numNodes_ = n;
+}
+
+unsigned
+KAryNMesh::coordinate(NodeId node, unsigned dim) const
+{
+    wn_assert(node < numNodes_);
+    wn_assert(dim < dims_);
+    return (node / stride_[dim]) % radix_;
+}
+
+NodeId
+KAryNMesh::neighbor(NodeId node, unsigned dim, bool positive) const
+{
+    wn_assert(node < numNodes_);
+    wn_assert(dim < dims_);
+    const unsigned c = coordinate(node, dim);
+    if (positive) {
+        if (c + 1 >= radix_)
+            return kInvalidNode;
+        return node + stride_[dim];
+    }
+    if (c == 0)
+        return kInvalidNode;
+    return node - stride_[dim];
+}
+
+void
+KAryNMesh::minimalSteps(NodeId src, NodeId dst,
+                        MinimalSteps &steps) const
+{
+    wn_assert(src < numNodes_ && dst < numNodes_);
+    for (unsigned d = 0; d < dims_; ++d) {
+        const unsigned sc = coordinate(src, d);
+        const unsigned dc = coordinate(dst, d);
+        DimStep &step = steps[d];
+        if (sc == dc) {
+            step.dirMask = 0;
+            step.hops = 0;
+        } else if (dc > sc) {
+            step.dirMask = 0x1;
+            step.hops = static_cast<std::uint16_t>(dc - sc);
+        } else {
+            step.dirMask = 0x2;
+            step.hops = static_cast<std::uint16_t>(sc - dc);
+        }
+    }
+    for (unsigned d = dims_; d < kMaxDims; ++d)
+        steps[d] = DimStep{};
+}
+
+std::string
+KAryNMesh::name() const
+{
+    std::ostringstream os;
+    os << radix_ << "-ary " << dims_ << "-mesh";
+    return os.str();
+}
+
+} // namespace wormnet

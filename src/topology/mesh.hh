@@ -1,0 +1,48 @@
+/**
+ * @file
+ * k-ary n-mesh topology: like the torus but without wraparound links.
+ * Not used by the paper's evaluation, but included so the library can
+ * express deadlock-avoidance baselines (e.g. dimension-order routing
+ * on a mesh needs only one virtual channel to be deadlock-free).
+ */
+
+#ifndef WORMNET_TOPOLOGY_MESH_HH
+#define WORMNET_TOPOLOGY_MESH_HH
+
+#include "topology/topology.hh"
+
+namespace wormnet
+{
+
+/** k-ary n-dimensional mesh. Edge routers have dangling ports. */
+class KAryNMesh : public Topology
+{
+  public:
+    /**
+     * @param radix nodes per dimension (>= 2)
+     * @param dims number of dimensions (1..kMaxDims)
+     */
+    KAryNMesh(unsigned radix, unsigned dims);
+
+    NodeId numNodes() const override { return numNodes_; }
+    unsigned numDims() const override { return dims_; }
+    unsigned radix() const override { return radix_; }
+
+    unsigned coordinate(NodeId node, unsigned dim) const override;
+    NodeId neighbor(NodeId node, unsigned dim,
+                    bool positive) const override;
+    void minimalSteps(NodeId src, NodeId dst,
+                      MinimalSteps &steps) const override;
+    std::string name() const override;
+    bool wraparound() const override { return false; }
+
+  private:
+    unsigned radix_;
+    unsigned dims_;
+    NodeId numNodes_;
+    std::array<NodeId, kMaxDims + 1> stride_;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_TOPOLOGY_MESH_HH

@@ -1,0 +1,107 @@
+#include "topology/mixed_torus.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+MixedRadixTorus::MixedRadixTorus(std::vector<unsigned> radices)
+    : radices_(std::move(radices))
+{
+    if (radices_.empty() || radices_.size() > kMaxDims)
+        fatal("MixedRadixTorus: need 1..", kMaxDims,
+              " dimensions, got ", radices_.size());
+    maxRadix_ = 0;
+    NodeId n = 1;
+    stride_.reserve(radices_.size() + 1);
+    stride_.push_back(1);
+    for (const unsigned k : radices_) {
+        if (k < 2)
+            fatal("MixedRadixTorus: every radix must be >= 2");
+        const NodeId prev = n;
+        n *= k;
+        if (n / k != prev)
+            fatal("MixedRadixTorus: node count overflows NodeId");
+        stride_.push_back(n);
+        maxRadix_ = std::max(maxRadix_, k);
+    }
+    numNodes_ = n;
+}
+
+unsigned
+MixedRadixTorus::radixOf(unsigned dim) const
+{
+    wn_assert(dim < radices_.size());
+    return radices_[dim];
+}
+
+unsigned
+MixedRadixTorus::coordinate(NodeId node, unsigned dim) const
+{
+    wn_assert(node < numNodes_);
+    wn_assert(dim < radices_.size());
+    return (node / stride_[dim]) % radices_[dim];
+}
+
+NodeId
+MixedRadixTorus::neighbor(NodeId node, unsigned dim,
+                          bool positive) const
+{
+    wn_assert(node < numNodes_);
+    wn_assert(dim < radices_.size());
+    const unsigned k = radices_[dim];
+    const unsigned c = coordinate(node, dim);
+    const unsigned nc = positive ? (c + 1) % k : (c + k - 1) % k;
+    return node + (nc - c) * stride_[dim];
+}
+
+void
+MixedRadixTorus::minimalSteps(NodeId src, NodeId dst,
+                              MinimalSteps &steps) const
+{
+    wn_assert(src < numNodes_ && dst < numNodes_);
+    for (unsigned d = 0; d < radices_.size(); ++d) {
+        const unsigned k = radices_[d];
+        const unsigned sc = coordinate(src, d);
+        const unsigned dc = coordinate(dst, d);
+        DimStep &step = steps[d];
+        if (sc == dc) {
+            step.dirMask = 0;
+            step.hops = 0;
+            continue;
+        }
+        const unsigned fwd = (dc + k - sc) % k;
+        const unsigned bwd = k - fwd;
+        if (fwd < bwd) {
+            step.dirMask = 0x1;
+            step.hops = static_cast<std::uint16_t>(fwd);
+        } else if (bwd < fwd) {
+            step.dirMask = 0x2;
+            step.hops = static_cast<std::uint16_t>(bwd);
+        } else {
+            step.dirMask = 0x3;
+            step.hops = static_cast<std::uint16_t>(fwd);
+        }
+    }
+    for (unsigned d = static_cast<unsigned>(radices_.size());
+         d < kMaxDims; ++d)
+        steps[d] = DimStep{};
+}
+
+std::string
+MixedRadixTorus::name() const
+{
+    std::ostringstream os;
+    for (std::size_t d = 0; d < radices_.size(); ++d) {
+        if (d)
+            os << 'x';
+        os << radices_[d];
+    }
+    os << " torus";
+    return os.str();
+}
+
+} // namespace wormnet

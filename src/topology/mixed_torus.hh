@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Mixed-radix torus: a bidirectional torus whose dimensions may have
+ * different radices (e.g. 8x4x2). Generalises KAryNCube for machines
+ * whose packaging dictates asymmetric dimensions; not used by the
+ * paper's evaluation but a natural library extension — all routing
+ * functions and detection mechanisms work unchanged.
+ */
+
+#ifndef WORMNET_TOPOLOGY_MIXED_TORUS_HH
+#define WORMNET_TOPOLOGY_MIXED_TORUS_HH
+
+#include <vector>
+
+#include "topology/topology.hh"
+
+namespace wormnet
+{
+
+/** Torus with per-dimension radices (each >= 2). */
+class MixedRadixTorus : public Topology
+{
+  public:
+    /** @param radices nodes per dimension, one entry per dimension
+     *         (1..kMaxDims entries, each >= 2). */
+    explicit MixedRadixTorus(std::vector<unsigned> radices);
+
+    NodeId numNodes() const override { return numNodes_; }
+    unsigned numDims() const override
+    {
+        return static_cast<unsigned>(radices_.size());
+    }
+    unsigned radix() const override { return maxRadix_; }
+    unsigned radixOf(unsigned dim) const override;
+
+    unsigned coordinate(NodeId node, unsigned dim) const override;
+    NodeId neighbor(NodeId node, unsigned dim,
+                    bool positive) const override;
+    void minimalSteps(NodeId src, NodeId dst,
+                      MinimalSteps &steps) const override;
+    std::string name() const override;
+    bool wraparound() const override { return true; }
+
+  private:
+    std::vector<unsigned> radices_;
+    unsigned maxRadix_;
+    NodeId numNodes_;
+    std::vector<NodeId> stride_;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_TOPOLOGY_MIXED_TORUS_HH

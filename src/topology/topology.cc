@@ -1,0 +1,17 @@
+#include "topology/topology.hh"
+
+namespace wormnet
+{
+
+unsigned
+Topology::distance(NodeId src, NodeId dst) const
+{
+    MinimalSteps steps;
+    minimalSteps(src, dst, steps);
+    unsigned total = 0;
+    for (unsigned d = 0; d < numDims(); ++d)
+        total += steps[d].hops;
+    return total;
+}
+
+} // namespace wormnet

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Bidirectional k-ary n-cube (torus) topology — the network evaluated
+ * in the paper (8-ary 3-cube, 512 nodes).
+ */
+
+#ifndef WORMNET_TOPOLOGY_TORUS_HH
+#define WORMNET_TOPOLOGY_TORUS_HH
+
+#include "topology/topology.hh"
+
+namespace wormnet
+{
+
+/**
+ * k-ary n-cube with wraparound links in every dimension. Radix >= 2
+ * and 1 <= dims <= kMaxDims. With radix 2 the "+" and "-" neighbours
+ * coincide, yielding two parallel links, which the wiring convention
+ * handles naturally.
+ */
+class KAryNCube : public Topology
+{
+  public:
+    /**
+     * @param radix nodes per dimension (>= 2)
+     * @param dims number of dimensions (1..kMaxDims)
+     */
+    KAryNCube(unsigned radix, unsigned dims);
+
+    NodeId numNodes() const override { return numNodes_; }
+    unsigned numDims() const override { return dims_; }
+    unsigned radix() const override { return radix_; }
+
+    unsigned coordinate(NodeId node, unsigned dim) const override;
+    NodeId neighbor(NodeId node, unsigned dim,
+                    bool positive) const override;
+    void minimalSteps(NodeId src, NodeId dst,
+                      MinimalSteps &steps) const override;
+    std::string name() const override;
+    bool wraparound() const override { return true; }
+
+  private:
+    unsigned radix_;
+    unsigned dims_;
+    NodeId numNodes_;
+    /** stride_[d] = radix^d, for coordinate extraction. */
+    std::array<NodeId, kMaxDims + 1> stride_;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_TOPOLOGY_TORUS_HH

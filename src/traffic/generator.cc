@@ -1,0 +1,43 @@
+#include "traffic/generator.hh"
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+NodeGenerator::NodeGenerator(NodeId node, TrafficPattern &pattern,
+                             LengthDistribution &lengths,
+                             double flit_rate, Rng rng)
+    : node_(node), pattern_(pattern), lengths_(lengths),
+      flitRate_(0.0), msgProbability_(0.0), rng_(rng)
+{
+    setFlitRate(flit_rate);
+}
+
+void
+NodeGenerator::setFlitRate(double flit_rate)
+{
+    if (flit_rate < 0.0)
+        fatal("flit rate must be >= 0, got ", flit_rate);
+    flitRate_ = flit_rate;
+    msgProbability_ = flit_rate / lengths_.mean();
+    if (msgProbability_ > 1.0)
+        fatal("flit rate ", flit_rate, " with mean length ",
+              lengths_.mean(),
+              " needs more than one message per cycle per node");
+}
+
+std::optional<GeneratedMessage>
+NodeGenerator::tick()
+{
+    if (!rng_.nextBool(msgProbability_))
+        return std::nullopt;
+    const NodeId dst = pattern_.destination(node_, rng_);
+    if (dst == node_) {
+        ++selfDrops_;
+        return std::nullopt;
+    }
+    return GeneratedMessage{dst, lengths_.draw(rng_)};
+}
+
+} // namespace wormnet

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-node message generation process.
+ *
+ * Injection load is specified, as in the paper, in flits/cycle/node.
+ * Each node runs an independent Bernoulli process: every cycle it
+ * generates a message with probability rate / E[length], so that the
+ * offered load in flits matches the requested rate. Destinations and
+ * lengths are drawn from the configured pattern and distribution.
+ */
+
+#ifndef WORMNET_TRAFFIC_GENERATOR_HH
+#define WORMNET_TRAFFIC_GENERATOR_HH
+
+#include <memory>
+#include <optional>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "traffic/length.hh"
+#include "traffic/pattern.hh"
+
+namespace wormnet
+{
+
+/** Descriptor of a freshly generated message. */
+struct GeneratedMessage
+{
+    NodeId dst;
+    unsigned length;
+};
+
+/**
+ * One node's traffic source. Owns its private Rng stream so node
+ * behaviour is independent of evaluation order.
+ */
+class NodeGenerator
+{
+  public:
+    /**
+     * @param node this node's id
+     * @param pattern shared destination pattern (not owned)
+     * @param lengths shared length distribution (not owned)
+     * @param flit_rate offered load in flits/cycle/node (>= 0)
+     * @param rng private random stream (by value)
+     */
+    NodeGenerator(NodeId node, TrafficPattern &pattern,
+                  LengthDistribution &lengths, double flit_rate,
+                  Rng rng);
+
+    /**
+     * Advance one cycle; returns a message descriptor if one was
+     * generated. Self-addressed draws (possible under bit-permutation
+     * patterns) are discarded and counted, not injected.
+     */
+    std::optional<GeneratedMessage> tick();
+
+    /** Messages whose drawn destination equalled the source. */
+    std::uint64_t selfDrops() const { return selfDrops_; }
+
+    double flitRate() const { return flitRate_; }
+
+    /** Change the offered load (used by saturation sweeps). */
+    void setFlitRate(double flit_rate);
+
+  private:
+    NodeId node_;
+    TrafficPattern &pattern_;
+    LengthDistribution &lengths_;
+    double flitRate_;
+    double msgProbability_;
+    Rng rng_;
+    std::uint64_t selfDrops_ = 0;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_TRAFFIC_GENERATOR_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Message length (flit count) distributions.
+ *
+ * The paper's workloads: 16-flit messages ("s"), 64-flit ("l"),
+ * 256-flit ("L"), and a hybrid "sl" mix of 60% 16-flit and 40% 64-flit
+ * messages. The Mix distribution expresses all of these; a uniform
+ * range distribution is provided as a library extra.
+ */
+
+#ifndef WORMNET_TRAFFIC_LENGTH_HH
+#define WORMNET_TRAFFIC_LENGTH_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace wormnet
+{
+
+/** Draws message lengths in flits. */
+class LengthDistribution
+{
+  public:
+    virtual ~LengthDistribution() = default;
+
+    /** Draw one message length (>= 1 flit). */
+    virtual unsigned draw(Rng &rng) = 0;
+
+    /** Expected length, used to convert flit rates to message rates. */
+    virtual double mean() const = 0;
+
+    /** Largest length this distribution can produce. */
+    virtual unsigned maxLength() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Every message has the same length. */
+class FixedLength : public LengthDistribution
+{
+  public:
+    explicit FixedLength(unsigned flits);
+    unsigned draw(Rng &rng) override;
+    double mean() const override { return flits_; }
+    unsigned maxLength() const override { return flits_; }
+    std::string name() const override;
+
+  private:
+    unsigned flits_;
+};
+
+/** Weighted mixture of fixed lengths. */
+class MixLength : public LengthDistribution
+{
+  public:
+    struct Component
+    {
+        unsigned flits;
+        double weight;
+    };
+
+    explicit MixLength(std::vector<Component> components);
+    unsigned draw(Rng &rng) override;
+    double mean() const override { return mean_; }
+    unsigned maxLength() const override { return max_; }
+    std::string name() const override;
+
+  private:
+    std::vector<Component> components_; // weights normalised
+    double mean_;
+    unsigned max_;
+};
+
+/** Uniform over [lo, hi] flits. */
+class UniformLength : public LengthDistribution
+{
+  public:
+    UniformLength(unsigned lo, unsigned hi);
+    unsigned draw(Rng &rng) override;
+    double mean() const override { return 0.5 * (lo_ + hi_); }
+    unsigned maxLength() const override { return hi_; }
+    std::string name() const override;
+
+  private:
+    unsigned lo_;
+    unsigned hi_;
+};
+
+/**
+ * Build a length distribution from a spec string:
+ *   "s" (16) | "l" (64) | "L" (256) | "sl" (60% 16 + 40% 64) |
+ *   "<n>" (fixed n flits) |
+ *   "mix:<n1>x<w1>,<n2>x<w2>,..." | "uniform:<lo>:<hi>"
+ */
+std::unique_ptr<LengthDistribution>
+makeLengthDistribution(const std::string &spec);
+
+} // namespace wormnet
+
+#endif // WORMNET_TRAFFIC_LENGTH_HH

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Message destination patterns.
+ *
+ * The paper evaluates six distributions: uniform, uniform with
+ * locality, bit-reversal, perfect-shuffle, butterfly, and a hot-spot
+ * pattern (uniform modified so 5% of messages target one node). All
+ * are implemented here behind a single interface, plus a few common
+ * extras (transpose, tornado, nearest-neighbour) that round out the
+ * library for general NoC experimentation.
+ *
+ * Bit-permutation patterns (bit-reversal, perfect-shuffle, butterfly,
+ * transpose) operate on the binary representation of the node id and
+ * require the node count to be a power of two (the paper's 512-node
+ * 8-ary 3-cube satisfies this).
+ */
+
+#ifndef WORMNET_TRAFFIC_PATTERN_HH
+#define WORMNET_TRAFFIC_PATTERN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "topology/topology.hh"
+
+namespace wormnet
+{
+
+/** Maps a source node to a destination node, possibly at random. */
+class TrafficPattern
+{
+  public:
+    virtual ~TrafficPattern() = default;
+
+    /**
+     * Destination for a message generated at @p src. May consume
+     * randomness. Self-addressed results are allowed only if the
+     * pattern is inherently self-mapping for that source (e.g.
+     * bit-reversal of a palindromic id); such messages are dropped by
+     * the generator rather than injected.
+     */
+    virtual NodeId destination(NodeId src, Rng &rng) = 0;
+
+    /** Pattern name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Uniform over all nodes except the source. */
+class UniformPattern : public TrafficPattern
+{
+  public:
+    explicit UniformPattern(const Topology &topo);
+    NodeId destination(NodeId src, Rng &rng) override;
+    std::string name() const override { return "uniform"; }
+
+  private:
+    NodeId numNodes_;
+};
+
+/**
+ * Uniform with locality: destination drawn uniformly from the nodes
+ * within Manhattan distance <= radius of the source (excluding the
+ * source itself). The paper does not pin down its locality model; this
+ * bounded-ball definition is the common choice in the k-ary n-cube
+ * literature and yields the expected much-higher saturation rates.
+ */
+class LocalityPattern : public TrafficPattern
+{
+  public:
+    /**
+     * @param topo topology (used for coordinate arithmetic)
+     * @param radius maximum Manhattan distance of destinations (>= 1)
+     */
+    LocalityPattern(const Topology &topo, unsigned radius);
+    NodeId destination(NodeId src, Rng &rng) override;
+    std::string name() const override;
+
+  private:
+    const Topology &topo_;
+    unsigned radius_;
+    /** All non-zero coordinate offsets with L1 norm <= radius. */
+    std::vector<std::vector<int>> offsets_;
+};
+
+/** Base for patterns permuting the bits of the node id. */
+class BitPermutationPattern : public TrafficPattern
+{
+  public:
+    explicit BitPermutationPattern(const Topology &topo);
+    NodeId destination(NodeId src, Rng &rng) final;
+
+  protected:
+    /** The permutation on @p bits_-wide ids. */
+    virtual NodeId permute(NodeId src) const = 0;
+
+    unsigned bits_;
+};
+
+/** dst = bit-reverse(src). */
+class BitReversalPattern : public BitPermutationPattern
+{
+  public:
+    using BitPermutationPattern::BitPermutationPattern;
+    std::string name() const override { return "bit-reversal"; }
+
+  protected:
+    NodeId permute(NodeId src) const override;
+};
+
+/** dst = rotate-left-1(src) (perfect shuffle). */
+class PerfectShufflePattern : public BitPermutationPattern
+{
+  public:
+    using BitPermutationPattern::BitPermutationPattern;
+    std::string name() const override { return "perfect-shuffle"; }
+
+  protected:
+    NodeId permute(NodeId src) const override;
+};
+
+/** dst = src with the most and least significant bits swapped. */
+class ButterflyPattern : public BitPermutationPattern
+{
+  public:
+    using BitPermutationPattern::BitPermutationPattern;
+    std::string name() const override { return "butterfly"; }
+
+  protected:
+    NodeId permute(NodeId src) const override;
+};
+
+/** dst = src with the top and bottom halves of its bits swapped. */
+class TransposePattern : public BitPermutationPattern
+{
+  public:
+    using BitPermutationPattern::BitPermutationPattern;
+    std::string name() const override { return "transpose"; }
+
+  protected:
+    NodeId permute(NodeId src) const override;
+};
+
+/**
+ * Hot-spot: with probability @p hotFraction the destination is a fixed
+ * hot node; otherwise it is delegated to a base pattern. The paper uses
+ * hotFraction = 0.05 over uniform.
+ */
+class HotSpotPattern : public TrafficPattern
+{
+  public:
+    HotSpotPattern(std::unique_ptr<TrafficPattern> base,
+                   NodeId hot_node, double hot_fraction);
+    NodeId destination(NodeId src, Rng &rng) override;
+    std::string name() const override;
+
+    NodeId hotNode() const { return hotNode_; }
+
+  private:
+    std::unique_ptr<TrafficPattern> base_;
+    NodeId hotNode_;
+    double hotFraction_;
+};
+
+/**
+ * Tornado: dst = src shifted by floor((k-1)/2) in every dimension —
+ * the classic adversarial torus pattern (library extra).
+ */
+class TornadoPattern : public TrafficPattern
+{
+  public:
+    explicit TornadoPattern(const Topology &topo);
+    NodeId destination(NodeId src, Rng &rng) override;
+    std::string name() const override { return "tornado"; }
+
+  private:
+    const Topology &topo_;
+};
+
+/**
+ * Build a pattern from a spec string:
+ *   "uniform" | "locality[:radius]" | "bitrev" | "shuffle" |
+ *   "butterfly" | "transpose" | "tornado" |
+ *   "hotspot[:fraction[:node]]"
+ * fatal() on unknown specs.
+ */
+std::unique_ptr<TrafficPattern>
+makePattern(const std::string &spec, const Topology &topo);
+
+} // namespace wormnet
+
+#endif // WORMNET_TRAFFIC_PATTERN_HH

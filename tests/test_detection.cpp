@@ -1,0 +1,407 @@
+/**
+ * @file
+ * White-box unit tests for the detection mechanisms, driving the hook
+ * interface directly (no network): NDM counter/I/DT transitions, G/P
+ * flag protocol and re-arm policies; PDM counter semantics; timeout
+ * behaviour; factory parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "detection/detector.hh"
+#include "detection/ndm.hh"
+#include "detection/pdm.hh"
+#include "detection/source_timeout.hh"
+#include "detection/timeout.hh"
+
+namespace wormnet
+{
+namespace
+{
+
+DetectorContext
+smallCtx()
+{
+    DetectorContext ctx;
+    ctx.numRouters = 2;
+    ctx.numInPorts = 4;
+    ctx.numOutPorts = 4;
+    ctx.vcs = 3;
+    return ctx;
+}
+
+/** Helper: run n idle occupied cycles on router 0 with ports in
+ *  @p occupied. */
+void
+idleCycles(DeadlockDetector &det, unsigned n, PortMask occupied,
+           Cycle &now)
+{
+    for (unsigned i = 0; i < n; ++i)
+        det.onCycleEnd(0, /*tx=*/0, occupied, now++);
+}
+
+TEST(Ndm, CounterAndFlagsFollowThresholds)
+{
+    NdmDetector det(NdmParams{1, 8, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+
+    idleCycles(det, 1, 0x1, now);
+    EXPECT_EQ(det.counter(0, 0), 1u);
+    EXPECT_FALSE(det.iFlag(0, 0)); // counter == t1, not yet over
+    idleCycles(det, 1, 0x1, now);
+    EXPECT_TRUE(det.iFlag(0, 0));
+    EXPECT_FALSE(det.dtFlag(0, 0));
+    idleCycles(det, 7, 0x1, now);
+    EXPECT_TRUE(det.dtFlag(0, 0)); // counter 9 > t2=8
+}
+
+TEST(Ndm, TransmissionResetsCountersAndFlags)
+{
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    idleCycles(det, 6, 0x1, now);
+    EXPECT_TRUE(det.dtFlag(0, 0));
+    det.onCycleEnd(0, /*tx=*/0x1, 0x1, now++);
+    EXPECT_EQ(det.counter(0, 0), 0u);
+    EXPECT_FALSE(det.iFlag(0, 0));
+    EXPECT_FALSE(det.dtFlag(0, 0));
+}
+
+TEST(Ndm, UnoccupiedChannelDoesNotCount)
+{
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    idleCycles(det, 10, /*occupied=*/0x0, now);
+    EXPECT_EQ(det.counter(0, 0), 0u);
+    EXPECT_FALSE(det.iFlag(0, 0));
+}
+
+TEST(Ndm, FirstAttemptFreeVcGivesPropagate)
+{
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    // Input PC not fully busy -> P, never a verdict.
+    EXPECT_FALSE(det.onRoutingFailed(0, 1, 0, 7, 0x3,
+                                     /*fully_busy=*/false,
+                                     /*first=*/true, 0));
+    EXPECT_FALSE(det.gpFlag(0, 1));
+}
+
+TEST(Ndm, FirstAttemptAdvancingOccupantGivesGenerate)
+{
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    // Output 0 idle long (I set); output 1 active (I clear).
+    idleCycles(det, 3, 0x3, now);
+    det.onCycleEnd(0, /*tx=*/0x2, 0x3, now++);
+    EXPECT_TRUE(det.iFlag(0, 0));
+    EXPECT_FALSE(det.iFlag(0, 1));
+    // Feasible {0,1}: occupant of 1 still advancing -> G.
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now));
+    EXPECT_TRUE(det.gpFlag(0, 2));
+}
+
+TEST(Ndm, FirstAttemptAllBlockedGivesPropagate)
+{
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    idleCycles(det, 4, 0x3, now); // both outputs idle-occupied: I set
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now));
+    EXPECT_FALSE(det.gpFlag(0, 2));
+}
+
+TEST(Ndm, DetectsOnlyWithGenerateAndAllDt)
+{
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    // Make output 1 look active so the first attempt yields G.
+    det.onCycleEnd(0, /*tx=*/0x2, 0x3, now++);
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now));
+    EXPECT_TRUE(det.gpFlag(0, 2));
+
+    // DT not yet set: no verdict.
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 2, 0, 7, 0x3, true, false, now));
+
+    idleCycles(det, 6, 0x3, now); // counters exceed t2 on both
+    EXPECT_TRUE(det.dtFlag(0, 0));
+    EXPECT_TRUE(det.dtFlag(0, 1));
+    EXPECT_TRUE(
+        det.onRoutingFailed(0, 2, 0, 7, 0x3, true, false, now));
+}
+
+TEST(Ndm, PropagateSuppressesDetection)
+{
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    idleCycles(det, 3, 0x3, now);
+    // First attempt with all feasible blocked -> P.
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now));
+    idleCycles(det, 10, 0x3, now); // DT set everywhere
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 2, 0, 7, 0x3, true, false, now));
+}
+
+TEST(Ndm, PartialDtSuppressesDetection)
+{
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    det.onCycleEnd(0, 0x2, 0x3, now++); // G condition
+    det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now);
+    idleCycles(det, 10, 0x3, now);
+    det.onCycleEnd(0, /*tx=*/0x2, 0x3, now++); // output 1 DT reset
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 2, 0, 7, 0x3, true, false, now));
+}
+
+TEST(Ndm, RoutedAndFreedResetToPropagate)
+{
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    det.onCycleEnd(0, 0x2, 0x3, now++);
+    det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now);
+    EXPECT_TRUE(det.gpFlag(0, 2));
+    det.onMessageRouted(0, 2, 1);
+    EXPECT_FALSE(det.gpFlag(0, 2));
+
+    det.onCycleEnd(0, 0x2, 0x3, now++);
+    det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now);
+    EXPECT_TRUE(det.gpFlag(0, 2));
+    det.onInputVcFreed(0, 2, 0);
+    EXPECT_FALSE(det.gpFlag(0, 2));
+}
+
+TEST(Ndm, CoarseRearmFlipsAllFlags)
+{
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::AllInRouter});
+    det.init(smallCtx());
+    Cycle now = 0;
+    idleCycles(det, 3, 0x1, now); // I set on output 0
+    EXPECT_FALSE(det.gpFlag(0, 1));
+    EXPECT_FALSE(det.gpFlag(0, 3));
+    // Transmission on output 0 resets its I flag -> re-arm all.
+    det.onCycleEnd(0, /*tx=*/0x1, 0x1, now++);
+    EXPECT_TRUE(det.gpFlag(0, 1));
+    EXPECT_TRUE(det.gpFlag(0, 3));
+    // Other routers unaffected.
+    EXPECT_FALSE(det.gpFlag(1, 1));
+}
+
+TEST(Ndm, SelectiveRearmOnlyFlipsWaiters)
+{
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    idleCycles(det, 3, 0x3, now); // I set on outputs 0 and 1
+    // Input 1 waits on output 0; input 2 waits on output 1 only.
+    det.onRoutingFailed(0, 1, 0, 7, 0x1, true, true, now);
+    det.onRoutingFailed(0, 2, 0, 8, 0x2, true, true, now);
+    EXPECT_FALSE(det.gpFlag(0, 1));
+    EXPECT_FALSE(det.gpFlag(0, 2));
+    // Transmission on output 0: only input 1 re-arms.
+    det.onCycleEnd(0, /*tx=*/0x1, 0x3, now++);
+    EXPECT_TRUE(det.gpFlag(0, 1));
+    EXPECT_FALSE(det.gpFlag(0, 2));
+}
+
+TEST(Ndm, RearmOnlyWhenIFlagWasSet)
+{
+    NdmDetector det(NdmParams{1, 8, GpRearmPolicy::AllInRouter});
+    det.init(smallCtx());
+    Cycle now = 0;
+    // Continuous transmission: I never set, so no re-arm.
+    for (int i = 0; i < 5; ++i)
+        det.onCycleEnd(0, /*tx=*/0x1, 0x1, now++);
+    EXPECT_FALSE(det.gpFlag(0, 0));
+    EXPECT_FALSE(det.gpFlag(0, 1));
+}
+
+TEST(Ndm, RequiresT1BelowT2)
+{
+    EXPECT_THROW(
+        NdmDetector(NdmParams{8, 8, GpRearmPolicy::AllInRouter}),
+        FatalError);
+    EXPECT_THROW(
+        NdmDetector(NdmParams{16, 8, GpRearmPolicy::AllInRouter}),
+        FatalError);
+}
+
+TEST(Pdm, CounterCountsEveryIdleCycle)
+{
+    PdmDetector det(PdmParams{4, false});
+    det.init(smallCtx());
+    Cycle now = 0;
+    // Ungated PDM counts even when unoccupied (the literal ICPP'97
+    // description).
+    for (int i = 0; i < 6; ++i)
+        det.onCycleEnd(0, 0, /*occupied=*/0x0, now++);
+    EXPECT_EQ(det.counter(0, 0), 6u);
+    EXPECT_TRUE(det.ifFlag(0, 0));
+}
+
+TEST(Pdm, GatedVariantFreezesWhenUnoccupied)
+{
+    PdmDetector det(PdmParams{4, true});
+    det.init(smallCtx());
+    Cycle now = 0;
+    for (int i = 0; i < 6; ++i)
+        det.onCycleEnd(0, 0, /*occupied=*/0x0, now++);
+    EXPECT_EQ(det.counter(0, 0), 0u);
+    for (int i = 0; i < 6; ++i)
+        det.onCycleEnd(0, 0, /*occupied=*/0x1, now++);
+    EXPECT_EQ(det.counter(0, 0), 6u);
+}
+
+TEST(Pdm, DetectsWhenAllFeasibleFlagsSet)
+{
+    PdmDetector det(PdmParams{4, false});
+    det.init(smallCtx());
+    Cycle now = 0;
+    for (int i = 0; i < 6; ++i)
+        det.onCycleEnd(0, 0, 0x3, now++);
+    // Both outputs over threshold: verdict on any attempt.
+    EXPECT_TRUE(det.onRoutingFailed(0, 1, 0, 7, 0x3, true, true, now));
+    // Reset output 1 by transmission: verdict withdrawn.
+    det.onCycleEnd(0, /*tx=*/0x2, 0x3, now++);
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 1, 0, 7, 0x3, true, false, now));
+    // Output 0 alone still suffices if it is the only feasible one.
+    EXPECT_TRUE(det.onRoutingFailed(0, 1, 0, 7, 0x1, true, false, now));
+}
+
+TEST(Pdm, MarksEveryWaiterNotJustBranchHeads)
+{
+    // The PDM drawback the paper highlights: all messages waiting on
+    // flagged channels are marked, regardless of tree position.
+    PdmDetector det(PdmParams{4, false});
+    det.init(smallCtx());
+    Cycle now = 0;
+    for (int i = 0; i < 6; ++i)
+        det.onCycleEnd(0, 0, 0x3, now++);
+    EXPECT_TRUE(det.onRoutingFailed(0, 1, 0, 7, 0x1, true, true, now));
+    EXPECT_TRUE(det.onRoutingFailed(0, 2, 0, 8, 0x2, true, true, now));
+    EXPECT_TRUE(det.onRoutingFailed(0, 3, 1, 9, 0x3, true, true, now));
+}
+
+TEST(Timeout, FiresAfterThresholdBlockedCycles)
+{
+    TimeoutDetector det(TimeoutParams{5});
+    det.init(smallCtx());
+    EXPECT_FALSE(det.onRoutingFailed(0, 1, 0, 7, 0x1, true, true, 10));
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 1, 0, 7, 0x1, true, false, 15));
+    EXPECT_TRUE(det.onRoutingFailed(0, 1, 0, 7, 0x1, true, false, 16));
+}
+
+TEST(Timeout, RoutedResetsClock)
+{
+    TimeoutDetector det(TimeoutParams{5});
+    det.init(smallCtx());
+    det.onRoutingFailed(0, 1, 0, 7, 0x1, true, true, 10);
+    det.onMessageRouted(0, 1, 0);
+    // New head, new first attempt.
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 1, 0, 8, 0x1, true, true, 100));
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 1, 0, 8, 0x1, true, false, 105));
+    EXPECT_TRUE(
+        det.onRoutingFailed(0, 1, 0, 8, 0x1, true, false, 106));
+}
+
+TEST(Timeout, IgnoresChannelState)
+{
+    // Crude timeouts fire even while feasible channels are active —
+    // exactly why they produce so many false positives.
+    TimeoutDetector det(TimeoutParams{3});
+    det.init(smallCtx());
+    det.onRoutingFailed(0, 1, 0, 7, 0x3, true, true, 0);
+    det.onCycleEnd(0, /*tx=*/0x3, 0x3, 1);
+    EXPECT_TRUE(det.onRoutingFailed(0, 1, 0, 7, 0x3, true, false, 10));
+}
+
+TEST(SourceAgeTimeout, FiresOnMessageAge)
+{
+    SourceAgeTimeoutDetector det(100);
+    det.init(smallCtx());
+    // Routing failures never trigger source-side mechanisms.
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 1, 0, 7, 0x1, true, false, 99999));
+    EXPECT_FALSE(det.onInjectionStalled(0, 2, 0, 7, /*age=*/100,
+                                        /*stall=*/500, 600));
+    EXPECT_TRUE(det.onInjectionStalled(0, 2, 0, 7, /*age=*/101,
+                                       /*stall=*/1, 600));
+}
+
+TEST(InjectionStallTimeout, FiresOnStallNotAge)
+{
+    InjectionStallTimeoutDetector det(32);
+    det.init(smallCtx());
+    EXPECT_FALSE(det.onInjectionStalled(0, 2, 0, 7, /*age=*/10000,
+                                        /*stall=*/32, 600));
+    EXPECT_TRUE(det.onInjectionStalled(0, 2, 0, 7, /*age=*/40,
+                                       /*stall=*/33, 600));
+}
+
+TEST(SourceTimeouts, ZeroThresholdIsFatal)
+{
+    EXPECT_THROW(SourceAgeTimeoutDetector{0}, FatalError);
+    EXPECT_THROW(InjectionStallTimeoutDetector{0}, FatalError);
+}
+
+TEST(NullDetector, NeverDetects)
+{
+    NullDetector det;
+    det.init(smallCtx());
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 1, 0, 7, 0x3, true, false, 1000));
+}
+
+TEST(DetectorFactory, ParsesSpecs)
+{
+    EXPECT_EQ(makeDetector("none")->name(), "none");
+
+    const auto ndm = makeDetector("ndm:64");
+    EXPECT_NE(ndm->name().find("ndm"), std::string::npos);
+    EXPECT_NE(ndm->name().find("t2=64"), std::string::npos);
+    EXPECT_NE(ndm->name().find("selective"), std::string::npos);
+
+    const auto ndm2 = makeDetector("ndm:64:2:coarse");
+    EXPECT_NE(ndm2->name().find("t1=2"), std::string::npos);
+    EXPECT_NE(ndm2->name().find("coarse"), std::string::npos);
+
+    const auto pdm = makeDetector("pdm:128:gated");
+    EXPECT_NE(pdm->name().find("gated"), std::string::npos);
+
+    const auto to = makeDetector("timeout:256");
+    EXPECT_NE(to->name().find("256"), std::string::npos);
+
+    const auto src = makeDetector("src-age-timeout:128");
+    EXPECT_NE(src->name().find("src-age"), std::string::npos);
+    const auto inj = makeDetector("inj-stall-timeout:64");
+    EXPECT_NE(inj->name().find("inj-stall"), std::string::npos);
+}
+
+TEST(DetectorFactory, RejectsBadSpecs)
+{
+    EXPECT_THROW(makeDetector("bogus"), FatalError);
+    EXPECT_THROW(makeDetector("ndm:abc"), FatalError);
+    EXPECT_THROW(makeDetector("pdm:8:what"), FatalError);
+    EXPECT_THROW(makeDetector(""), FatalError);
+}
+
+} // namespace
+} // namespace wormnet

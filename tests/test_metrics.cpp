@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the metrics helpers and the umbrella header (which
+ * this file includes to guarantee it stays self-contained).
+ */
+
+#include <gtest/gtest.h>
+
+#include "wormnet.hh"
+
+namespace wormnet
+{
+namespace
+{
+
+TEST(SimStats, WindowResetClearsOnlyWindowedCounters)
+{
+    SimStats s;
+    s.generated = 10;
+    s.delivered = 8;
+    s.wGenerated = 10;
+    s.wDelivered = 8;
+    s.wDetectedMessages = 2;
+    s.latency.add(50.0);
+    s.startWindow(123);
+    EXPECT_EQ(s.windowStart, 123u);
+    EXPECT_EQ(s.wGenerated, 0u);
+    EXPECT_EQ(s.wDelivered, 0u);
+    EXPECT_EQ(s.wDetectedMessages, 0u);
+    EXPECT_EQ(s.latency.count(), 0u);
+    // Lifetime totals untouched.
+    EXPECT_EQ(s.generated, 10u);
+    EXPECT_EQ(s.delivered, 8u);
+}
+
+TEST(SimStats, DetectionRate)
+{
+    SimStats s;
+    EXPECT_DOUBLE_EQ(s.detectionRate(), 0.0);
+    s.wDelivered = 200;
+    s.wDetectedMessages = 3;
+    EXPECT_DOUBLE_EQ(s.detectionRate(), 3.0 / 200.0);
+}
+
+TEST(SimStats, RateHelpers)
+{
+    SimStats s;
+    s.startWindow(1000);
+    s.wFlitsDelivered = 6400;
+    s.wGeneratedFlits = 8000;
+    EXPECT_DOUBLE_EQ(s.acceptedFlitRate(2000, 64), 0.1);
+    EXPECT_DOUBLE_EQ(s.generatedFlitRate(2000, 64), 0.125);
+    // Degenerate cases.
+    EXPECT_DOUBLE_EQ(s.acceptedFlitRate(1000, 64), 0.0);
+    EXPECT_DOUBLE_EQ(s.acceptedFlitRate(2000, 0), 0.0);
+}
+
+TEST(UmbrellaHeader, TypesAreUsable)
+{
+    // Spot-check that the umbrella header exposes the full API
+    // surface without additional includes.
+    KAryNCube torus(4, 2);
+    UniformPattern pattern(torus);
+    FixedLength lengths(16);
+    const auto detector = makeDetector("ndm:32");
+    const auto recovery = makeRecoveryManager("progressive");
+    const auto routing = makeRoutingFunction(
+        "tfa", torus, RouterParams{4, 4, 4, 3, 4});
+    EXPECT_EQ(torus.numNodes(), 16u);
+    EXPECT_NE(detector, nullptr);
+    EXPECT_NE(recovery, nullptr);
+    EXPECT_NE(routing, nullptr);
+}
+
+} // namespace
+} // namespace wormnet

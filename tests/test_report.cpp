@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the run-report renderer: every section appears, the
+ * numbers it quotes agree with the statistics, and the options
+ * control the optional sections.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+namespace wormnet
+{
+namespace
+{
+
+TEST(Report, ContainsAllSections)
+{
+    SimulationConfig cfg;
+    cfg.radix = 4;
+    cfg.dims = 2;
+    cfg.flitRate = 0.25;
+    cfg.seed = 91;
+    Simulation sim(cfg);
+    sim.warmupAndMeasure(1000, 3000);
+
+    const std::string report = buildReport(sim);
+    for (const char *needle :
+         {"configuration", "traffic and throughput",
+          "latency (cycles)", "deadlock detection", "recovery",
+          "channel utilisation", "hottest channels", "4-ary 2-cube",
+          "ndm:32", "progressive", "uniform"}) {
+        EXPECT_NE(report.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(Report, NumbersMatchStats)
+{
+    SimulationConfig cfg;
+    cfg.radix = 4;
+    cfg.dims = 2;
+    cfg.flitRate = 0.2;
+    cfg.seed = 92;
+    Simulation sim(cfg);
+    sim.warmupAndMeasure(800, 2500);
+
+    const std::string report = buildReport(sim);
+    const SimStats &s = sim.net().stats();
+    EXPECT_NE(report.find("delivered:           " +
+                          std::to_string(s.wDelivered)),
+              std::string::npos);
+    EXPECT_NE(report.find("generated:           " +
+                          std::to_string(s.wGenerated)),
+              std::string::npos);
+}
+
+TEST(Report, OptionsControlSections)
+{
+    SimulationConfig cfg;
+    cfg.radix = 4;
+    cfg.dims = 2;
+    cfg.flitRate = 0.2;
+    Simulation sim(cfg);
+    sim.warmupAndMeasure(500, 1500);
+
+    ReportOptions options;
+    options.latencyHistogram = false;
+    options.hottestChannels = 0;
+    const std::string report = buildReport(sim, options);
+    EXPECT_EQ(report.find("histogram"), std::string::npos);
+    EXPECT_EQ(report.find("hottest channels"), std::string::npos);
+}
+
+TEST(Report, DetectionSectionReflectsActivity)
+{
+    // Deadlock-prone run: the detection section reports activity.
+    SimulationConfig cfg;
+    cfg.radix = 4;
+    cfg.dims = 2;
+    cfg.vcs = 1;
+    cfg.flitRate = 0.3;
+    cfg.detector = "ndm:16";
+    cfg.injectionLimit = false;
+    cfg.oraclePeriod = 16;
+    cfg.seed = 93;
+    Simulation sim(cfg);
+    sim.warmupAndMeasure(500, 4000);
+
+    const std::string report = buildReport(sim);
+    EXPECT_NE(report.find("verdicts raised"), std::string::npos);
+    if (sim.net().stats().detectionLatency.count() > 0)
+        EXPECT_NE(report.find("detection latency"),
+                  std::string::npos);
+}
+
+} // namespace
+} // namespace wormnet

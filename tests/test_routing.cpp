@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Unit tests for the routing functions: candidate sets of true fully
+ * adaptive routing, dimension-order routing (with dateline VC classes
+ * on tori) and the Duato-protocol adaptive routing with escape
+ * channels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/log.hh"
+#include "core/simulation.hh"
+#include "routing/routing.hh"
+#include "topology/mesh.hh"
+#include "topology/mixed_torus.hh"
+#include "topology/torus.hh"
+
+namespace wormnet
+{
+namespace
+{
+
+RouterParams
+paramsFor(const Topology &topo, unsigned vcs = 3)
+{
+    RouterParams p;
+    p.netPorts = topo.numNetPorts();
+    p.vcs = vcs;
+    return p;
+}
+
+TEST(Tfa, AllMinimalDirectionsAllVcs)
+{
+    const KAryNCube topo(8, 2);
+    const auto p = paramsFor(topo);
+    TrueFullyAdaptiveRouting rf(topo, p);
+    std::vector<RouteCandidate> out;
+
+    // From (0,0) to (2,3): +x and +y are minimal.
+    const NodeId dst = 2 + 3 * 8;
+    rf.route(0, dst, 0, 0, out);
+    ASSERT_EQ(out.size(), 2u);
+    std::set<PortId> ports;
+    for (const auto &c : out) {
+        ports.insert(c.port);
+        EXPECT_EQ(c.vcMask, 0x7u); // all three VCs
+    }
+    EXPECT_TRUE(ports.count(Topology::outPort(0, true)));
+    EXPECT_TRUE(ports.count(Topology::outPort(1, true)));
+    EXPECT_TRUE(rf.usesAllVcsUniformly());
+}
+
+TEST(Tfa, SingleDimensionRemaining)
+{
+    const KAryNCube topo(8, 2);
+    TrueFullyAdaptiveRouting rf(topo, paramsFor(topo));
+    std::vector<RouteCandidate> out;
+    // (0,0) -> (0,6): only -y is minimal (2 hops back).
+    rf.route(0, 6 * 8, 0, 0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].port, Topology::outPort(1, false));
+}
+
+TEST(Tfa, EquidistantGivesBothDirections)
+{
+    const KAryNCube topo(8, 1);
+    TrueFullyAdaptiveRouting rf(topo, paramsFor(topo));
+    std::vector<RouteCandidate> out;
+    rf.route(0, 4, 0, 0, out); // half-way around the ring
+    EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Tfa, AtDestinationGivesEjectionPorts)
+{
+    const KAryNCube topo(8, 2);
+    auto p = paramsFor(topo);
+    p.ejePorts = 4;
+    TrueFullyAdaptiveRouting rf(topo, p);
+    std::vector<RouteCandidate> out;
+    rf.route(5, 5, 0, 0, out);
+    ASSERT_EQ(out.size(), 4u);
+    for (const auto &c : out) {
+        EXPECT_GE(c.port, p.netPorts);
+        EXPECT_EQ(c.vcMask, 0x7u);
+    }
+}
+
+TEST(Dor, SingleDeterministicCandidate)
+{
+    const KAryNCube topo(8, 2);
+    DimensionOrderRouting rf(topo, paramsFor(topo));
+    std::vector<RouteCandidate> out;
+    // Both x and y unresolved: must route x (dimension 0) first.
+    const NodeId dst = 2 + 3 * 8;
+    rf.route(0, dst, 0, 0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].port, Topology::outPort(0, true));
+    EXPECT_EQ(__builtin_popcount(out[0].vcMask), 1);
+    EXPECT_FALSE(rf.usesAllVcsUniformly());
+}
+
+TEST(Dor, DatelineClasses)
+{
+    // Travelling "+": VC0 before the wrap edge (cur > dst), VC1
+    // after (cur < dst); symmetric for "-".
+    EXPECT_EQ(DimensionOrderRouting::datelineVc(true, 6, 2), 0);
+    EXPECT_EQ(DimensionOrderRouting::datelineVc(true, 1, 2), 1);
+    EXPECT_EQ(DimensionOrderRouting::datelineVc(false, 2, 6), 0);
+    EXPECT_EQ(DimensionOrderRouting::datelineVc(false, 6, 2), 1);
+}
+
+TEST(Dor, TorusNeedsTwoVcs)
+{
+    const KAryNCube topo(4, 2);
+    auto p = paramsFor(topo, 1);
+    EXPECT_THROW(DimensionOrderRouting(topo, p), FatalError);
+}
+
+TEST(Dor, MeshUsesAllVcs)
+{
+    const KAryNMesh topo(4, 2);
+    DimensionOrderRouting rf(topo, paramsFor(topo));
+    std::vector<RouteCandidate> out;
+    rf.route(0, 3, 0, 0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].vcMask, 0x7u);
+    EXPECT_TRUE(rf.usesAllVcsUniformly());
+}
+
+TEST(Duato, AdaptivePlusEscape)
+{
+    const KAryNCube topo(8, 2);
+    DuatoProtocolRouting rf(topo, paramsFor(topo));
+    EXPECT_EQ(rf.escapeVcs(), 2u);
+    std::vector<RouteCandidate> out;
+    const NodeId dst = 2 + 3 * 8;
+    rf.route(0, dst, 0, 0, out);
+    // Two adaptive candidates (+x, +y on VC2) with the +x one also
+    // carrying the escape VC.
+    ASSERT_EQ(out.size(), 2u);
+    std::uint32_t x_mask = 0, y_mask = 0;
+    for (const auto &c : out) {
+        if (c.port == Topology::outPort(0, true))
+            x_mask = c.vcMask;
+        if (c.port == Topology::outPort(1, true))
+            y_mask = c.vcMask;
+    }
+    EXPECT_EQ(y_mask, 0x4u);        // adaptive VC only
+    EXPECT_EQ(x_mask & 0x4u, 0x4u); // adaptive VC
+    EXPECT_NE(x_mask & 0x3u, 0u);   // plus one escape class
+}
+
+TEST(Duato, NeedsEnoughVcs)
+{
+    const KAryNCube topo(4, 2);
+    EXPECT_THROW(DuatoProtocolRouting(topo, paramsFor(topo, 2)),
+                 FatalError);
+    const KAryNMesh mesh(4, 2);
+    EXPECT_NO_THROW(DuatoProtocolRouting(mesh, paramsFor(mesh, 2)));
+}
+
+TEST(RoutingFactory, BuildsAllAndRejectsUnknown)
+{
+    const KAryNCube topo(4, 2);
+    const auto p = paramsFor(topo);
+    EXPECT_EQ(makeRoutingFunction("tfa", topo, p)->name(), "tfa");
+    EXPECT_EQ(makeRoutingFunction("dor", topo, p)->name(), "dor");
+    EXPECT_EQ(makeRoutingFunction("duato", topo, p)->name(), "duato");
+    EXPECT_THROW(makeRoutingFunction("magic", topo, p), FatalError);
+
+    const KAryNMesh mesh(4, 2);
+    const auto pm = paramsFor(mesh);
+    EXPECT_EQ(makeRoutingFunction("westfirst", mesh, pm)->name(),
+              "westfirst");
+}
+
+TEST(WestFirst, WestHopsComeFirstThenAdaptive)
+{
+    const KAryNMesh topo(4, 2);
+    WestFirstRouting rf(topo, paramsFor(topo));
+    std::vector<RouteCandidate> out;
+    // (2,0) -> (0,2): west hops pending -> single -x candidate.
+    rf.route(2, 0 + 2 * 4 + /*x=*/0, 0, 0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].port, Topology::outPort(0, false));
+    // (0,0) -> (2,2): no west hops -> both +x and +y adaptive.
+    rf.route(0, 2 + 2 * 4, 0, 0, out);
+    EXPECT_EQ(out.size(), 2u);
+    // (1,2) -> (2,1): +x and -y, both allowed (only -x restricted).
+    rf.route(1 + 2 * 4, 2 + 1 * 4, 0, 0, out);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_TRUE(rf.usesAllVcsUniformly());
+}
+
+TEST(WestFirst, RejectsTori)
+{
+    const KAryNCube topo(4, 2);
+    EXPECT_THROW(WestFirstRouting(topo, paramsFor(topo)), FatalError);
+}
+
+TEST(WestFirst, DeadlockFreeWithOneVc)
+{
+    // The turn-model guarantee: no deadlock with a single VC on a
+    // mesh even under heavy adaptive traffic with no limiter.
+    SimulationConfig cfg;
+    cfg.topology = "mesh";
+    cfg.radix = 4;
+    cfg.dims = 2;
+    cfg.vcs = 1;
+    cfg.routing = "westfirst";
+    cfg.flitRate = 0.3;
+    cfg.detector = "none";
+    cfg.recovery = "none";
+    cfg.injectionLimit = false;
+    cfg.oraclePeriod = 32;
+    cfg.seed = 81;
+    Simulation sim(cfg);
+    sim.net().run(5000);
+    sim.net().setFlitRate(0.0);
+    sim.net().run(4000);
+    EXPECT_EQ(sim.net().stats().trueDeadlockedMessages, 0u);
+    EXPECT_EQ(sim.net().stats().delivered,
+              sim.net().stats().injected);
+    EXPECT_EQ(sim.net().inFlight(), 0u);
+}
+
+/** Candidates are always productive: every hop reduces distance. */
+class RoutingProductive
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(RoutingProductive, EveryCandidateIsMinimal)
+{
+    const KAryNCube topo(5, 3);
+    const auto p = paramsFor(topo);
+    const auto rf = makeRoutingFunction(GetParam(), topo, p);
+    std::vector<RouteCandidate> out;
+    Rng rng(31);
+    for (int i = 0; i < 300; ++i) {
+        const NodeId cur =
+            static_cast<NodeId>(rng.nextBounded(topo.numNodes()));
+        const NodeId dst =
+            static_cast<NodeId>(rng.nextBounded(topo.numNodes()));
+        if (cur == dst)
+            continue;
+        rf->route(cur, dst, 0, 0, out);
+        ASSERT_FALSE(out.empty());
+        for (const auto &c : out) {
+            ASSERT_LT(c.port, p.netPorts);
+            EXPECT_NE(c.vcMask, 0u);
+            const NodeId next =
+                topo.neighbor(cur, Topology::dimOfPort(c.port),
+                              Topology::isPositivePort(c.port));
+            EXPECT_EQ(topo.distance(next, dst),
+                      topo.distance(cur, dst) - 1)
+                << GetParam() << " " << cur << "->" << dst;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, RoutingProductive,
+                         ::testing::Values("tfa", "dor", "duato"));
+
+/** Same productivity invariant on a mixed-radix torus. */
+class MixedRoutingProductive
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MixedRoutingProductive, EveryCandidateIsMinimal)
+{
+    const MixedRadixTorus topo({8, 4, 2});
+    const auto p = paramsFor(topo);
+    const auto rf = makeRoutingFunction(GetParam(), topo, p);
+    std::vector<RouteCandidate> out;
+    Rng rng(33);
+    for (int i = 0; i < 300; ++i) {
+        const NodeId cur =
+            static_cast<NodeId>(rng.nextBounded(topo.numNodes()));
+        const NodeId dst =
+            static_cast<NodeId>(rng.nextBounded(topo.numNodes()));
+        if (cur == dst)
+            continue;
+        rf->route(cur, dst, 0, 0, out);
+        ASSERT_FALSE(out.empty());
+        for (const auto &c : out) {
+            const NodeId next =
+                topo.neighbor(cur, Topology::dimOfPort(c.port),
+                              Topology::isPositivePort(c.port));
+            EXPECT_EQ(topo.distance(next, dst),
+                      topo.distance(cur, dst) - 1);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, MixedRoutingProductive,
+                         ::testing::Values("tfa", "dor", "duato"));
+
+TEST(Dor, DeadlockFreeOnMixedRadixTorus)
+{
+    SimulationConfig cfg;
+    cfg.radices = "8x4";
+    cfg.vcs = 2;
+    cfg.routing = "dor";
+    cfg.flitRate = 0.3;
+    cfg.detector = "none";
+    cfg.recovery = "none";
+    cfg.injectionLimit = false;
+    cfg.oraclePeriod = 32;
+    cfg.seed = 97;
+    Simulation sim(cfg);
+    sim.net().run(5000);
+    sim.net().setFlitRate(0.0);
+    sim.net().run(4000);
+    EXPECT_EQ(sim.net().stats().trueDeadlockedMessages, 0u);
+    EXPECT_EQ(sim.net().stats().delivered,
+              sim.net().stats().injected);
+}
+
+/** End-to-end: each algorithm delivers traffic on a busy network. */
+class RoutingDelivers : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(RoutingDelivers, ModerateLoadAllDelivered)
+{
+    SimulationConfig cfg;
+    cfg.radix = 4;
+    cfg.dims = 2;
+    cfg.routing = GetParam();
+    cfg.flitRate = 0.1;
+    cfg.detector = "none";
+    cfg.recovery = "none";
+    cfg.oraclePeriod = 0;
+    cfg.seed = 77;
+    Simulation sim(cfg);
+    sim.net().run(3000);
+    // Stop generating and drain.
+    sim.net().setFlitRate(0.0);
+    sim.net().run(3000);
+    const SimStats &s = sim.net().stats();
+    EXPECT_GT(s.generated, 100u);
+    EXPECT_EQ(s.delivered, s.injected);
+    EXPECT_EQ(sim.net().inFlight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, RoutingDelivers,
+                         ::testing::Values("tfa", "dor", "duato"));
+
+} // namespace
+} // namespace wormnet

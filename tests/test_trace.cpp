@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the event tracer: ring-buffer mechanics, the lifecycle
+ * sequences emitted by the Network, and cross-checks between trace
+ * counts and simulation statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/simulation.hh"
+#include "sim/trace.hh"
+
+namespace wormnet
+{
+namespace
+{
+
+TEST(Tracer, RecordsInOrder)
+{
+    Tracer t(8);
+    t.record(1, TraceEvent::Generated, 5, 0);
+    t.record(2, TraceEvent::InjectStart, 5, 0, 2, 1);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.at(0).event, TraceEvent::Generated);
+    EXPECT_EQ(t.at(1).event, TraceEvent::InjectStart);
+    EXPECT_EQ(t.at(1).port, 2);
+    EXPECT_EQ(t.at(1).vc, 1);
+}
+
+TEST(Tracer, RingDropsOldest)
+{
+    Tracer t(4);
+    for (Cycle c = 0; c < 10; ++c)
+        t.record(c, TraceEvent::Routed, static_cast<MsgId>(c));
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.totalRecorded(), 10u);
+    EXPECT_EQ(t.at(0).cycle, 6u);
+    EXPECT_EQ(t.at(3).cycle, 9u);
+}
+
+TEST(Tracer, MessageHistoryFilters)
+{
+    Tracer t(16);
+    t.record(1, TraceEvent::Generated, 1);
+    t.record(1, TraceEvent::Generated, 2);
+    t.record(2, TraceEvent::InjectStart, 1);
+    t.record(3, TraceEvent::Delivered, 2);
+    const auto history = t.messageHistory(1);
+    ASSERT_EQ(history.size(), 2u);
+    EXPECT_EQ(history[0].event, TraceEvent::Generated);
+    EXPECT_EQ(history[1].event, TraceEvent::InjectStart);
+}
+
+TEST(Tracer, CountsAndDump)
+{
+    Tracer t(16);
+    t.record(1, TraceEvent::Blocked, 1, 3, 0, 0);
+    t.record(2, TraceEvent::Blocked, 2, 4);
+    t.record(3, TraceEvent::Detected, 1, 3);
+    EXPECT_EQ(t.countEvent(TraceEvent::Blocked), 2u);
+    EXPECT_EQ(t.countEvent(TraceEvent::Killed), 0u);
+    const std::string text = t.toString();
+    EXPECT_NE(text.find("DETECTED"), std::string::npos);
+    EXPECT_NE(text.find("blocked"), std::string::npos);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.totalRecorded(), 0u);
+}
+
+TEST(Trace, SingleMessageLifecycle)
+{
+    SimulationConfig cfg;
+    cfg.radix = 4;
+    cfg.dims = 1;
+    cfg.flitRate = 0.0;
+    cfg.detector = "none";
+    cfg.recovery = "none";
+    cfg.oraclePeriod = 0;
+    Simulation sim(cfg);
+    Tracer tracer;
+    sim.net().attachTracer(&tracer);
+
+    const MsgId id = sim.net().injectMessage(0, 2, 8);
+    sim.net().run(100);
+
+    const auto history = tracer.messageHistory(id);
+    ASSERT_GE(history.size(), 4u);
+    EXPECT_EQ(history.front().event, TraceEvent::Generated);
+    EXPECT_EQ(history[1].event, TraceEvent::InjectStart);
+    EXPECT_EQ(history.back().event, TraceEvent::Delivered);
+    // Two network hops plus ejection: three Routed events.
+    std::size_t routed = 0;
+    for (const auto &r : history)
+        routed += r.event == TraceEvent::Routed;
+    EXPECT_EQ(routed, 3u);
+    // Cycles never decrease along the history.
+    for (std::size_t i = 1; i < history.size(); ++i)
+        EXPECT_GE(history[i].cycle, history[i - 1].cycle);
+}
+
+TEST(Trace, CountsMatchStats)
+{
+    SimulationConfig cfg;
+    cfg.radix = 4;
+    cfg.dims = 2;
+    cfg.flitRate = 0.2;
+    cfg.seed = 71;
+    Simulation sim(cfg);
+    Tracer tracer(1u << 20);
+    sim.net().attachTracer(&tracer);
+    sim.net().run(2000);
+    const SimStats &s = sim.net().stats();
+    EXPECT_EQ(tracer.countEvent(TraceEvent::Generated), s.generated);
+    EXPECT_EQ(tracer.countEvent(TraceEvent::InjectStart),
+              s.injected);
+    EXPECT_EQ(tracer.countEvent(TraceEvent::Delivered) +
+                  tracer.countEvent(TraceEvent::DeliveredRecovered),
+              s.delivered);
+    EXPECT_EQ(tracer.countEvent(TraceEvent::Killed), s.kills);
+}
+
+TEST(Trace, DetectionAndRecoveryEvents)
+{
+    // Engineered deadlock: the trace shows Blocked -> Detected ->
+    // DeliveredRecovered for at least one message.
+    SimulationConfig cfg;
+    cfg.topology = "torus";
+    cfg.radix = 12;
+    cfg.dims = 1;
+    cfg.vcs = 1;
+    cfg.injPorts = 1;
+    cfg.ejePorts = 1;
+    cfg.flitRate = 0.0;
+    cfg.detector = "ndm:16";
+    cfg.recovery = "progressive";
+    cfg.injectionLimit = false;
+    cfg.oraclePeriod = 0;
+    cfg.selection = "firstfit";
+    Simulation sim(cfg);
+    Tracer tracer;
+    sim.net().attachTracer(&tracer);
+
+    sim.net().injectMessage(0, 4, 48);
+    sim.net().injectMessage(3, 7, 48);
+    sim.net().injectMessage(6, 10, 48);
+    sim.net().injectMessage(9, 1, 48);
+    sim.net().run(3000);
+
+    EXPECT_GE(tracer.countEvent(TraceEvent::Detected), 1u);
+    EXPECT_GE(tracer.countEvent(TraceEvent::DeliveredRecovered), 1u);
+    EXPECT_EQ(tracer.countEvent(TraceEvent::Delivered) +
+                  tracer.countEvent(TraceEvent::DeliveredRecovered),
+              4u);
+}
+
+} // namespace
+} // namespace wormnet
