@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gp_rearm.dir/ablation_gp_rearm.cpp.o"
+  "CMakeFiles/ablation_gp_rearm.dir/ablation_gp_rearm.cpp.o.d"
+  "CMakeFiles/ablation_gp_rearm.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_gp_rearm.dir/bench_util.cc.o.d"
+  "ablation_gp_rearm"
+  "ablation_gp_rearm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gp_rearm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

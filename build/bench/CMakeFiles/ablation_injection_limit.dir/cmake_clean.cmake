@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_injection_limit.dir/ablation_injection_limit.cpp.o"
+  "CMakeFiles/ablation_injection_limit.dir/ablation_injection_limit.cpp.o.d"
+  "CMakeFiles/ablation_injection_limit.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_injection_limit.dir/bench_util.cc.o.d"
+  "ablation_injection_limit"
+  "ablation_injection_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_injection_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recovery.dir/ablation_recovery.cpp.o"
+  "CMakeFiles/ablation_recovery.dir/ablation_recovery.cpp.o.d"
+  "CMakeFiles/ablation_recovery.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_recovery.dir/bench_util.cc.o.d"
+  "ablation_recovery"
+  "ablation_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_t1.dir/ablation_t1.cpp.o"
+  "CMakeFiles/ablation_t1.dir/ablation_t1.cpp.o.d"
+  "CMakeFiles/ablation_t1.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_t1.dir/bench_util.cc.o.d"
+  "ablation_t1"
+  "ablation_t1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_t1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

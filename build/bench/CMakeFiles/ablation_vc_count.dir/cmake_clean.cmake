@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vc_count.dir/ablation_vc_count.cpp.o"
+  "CMakeFiles/ablation_vc_count.dir/ablation_vc_count.cpp.o.d"
+  "CMakeFiles/ablation_vc_count.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_vc_count.dir/bench_util.cc.o.d"
+  "ablation_vc_count"
+  "ablation_vc_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vc_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_mechanisms.dir/bench_util.cc.o"
+  "CMakeFiles/compare_mechanisms.dir/bench_util.cc.o.d"
+  "CMakeFiles/compare_mechanisms.dir/compare_mechanisms.cpp.o"
+  "CMakeFiles/compare_mechanisms.dir/compare_mechanisms.cpp.o.d"
+  "compare_mechanisms"
+  "compare_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

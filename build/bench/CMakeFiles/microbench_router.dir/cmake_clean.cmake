@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_router.dir/microbench_router.cpp.o"
+  "CMakeFiles/microbench_router.dir/microbench_router.cpp.o.d"
+  "microbench_router"
+  "microbench_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pdm_uniform.dir/bench_util.cc.o"
+  "CMakeFiles/table1_pdm_uniform.dir/bench_util.cc.o.d"
+  "CMakeFiles/table1_pdm_uniform.dir/table1_pdm_uniform.cpp.o"
+  "CMakeFiles/table1_pdm_uniform.dir/table1_pdm_uniform.cpp.o.d"
+  "table1_pdm_uniform"
+  "table1_pdm_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pdm_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

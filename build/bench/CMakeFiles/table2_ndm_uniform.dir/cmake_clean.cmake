@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ndm_uniform.dir/bench_util.cc.o"
+  "CMakeFiles/table2_ndm_uniform.dir/bench_util.cc.o.d"
+  "CMakeFiles/table2_ndm_uniform.dir/table2_ndm_uniform.cpp.o"
+  "CMakeFiles/table2_ndm_uniform.dir/table2_ndm_uniform.cpp.o.d"
+  "table2_ndm_uniform"
+  "table2_ndm_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ndm_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

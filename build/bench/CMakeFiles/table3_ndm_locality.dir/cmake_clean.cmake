@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ndm_locality.dir/bench_util.cc.o"
+  "CMakeFiles/table3_ndm_locality.dir/bench_util.cc.o.d"
+  "CMakeFiles/table3_ndm_locality.dir/table3_ndm_locality.cpp.o"
+  "CMakeFiles/table3_ndm_locality.dir/table3_ndm_locality.cpp.o.d"
+  "table3_ndm_locality"
+  "table3_ndm_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ndm_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ndm_bitrev.dir/bench_util.cc.o"
+  "CMakeFiles/table4_ndm_bitrev.dir/bench_util.cc.o.d"
+  "CMakeFiles/table4_ndm_bitrev.dir/table4_ndm_bitrev.cpp.o"
+  "CMakeFiles/table4_ndm_bitrev.dir/table4_ndm_bitrev.cpp.o.d"
+  "table4_ndm_bitrev"
+  "table4_ndm_bitrev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ndm_bitrev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_ndm_shuffle.dir/bench_util.cc.o"
+  "CMakeFiles/table5_ndm_shuffle.dir/bench_util.cc.o.d"
+  "CMakeFiles/table5_ndm_shuffle.dir/table5_ndm_shuffle.cpp.o"
+  "CMakeFiles/table5_ndm_shuffle.dir/table5_ndm_shuffle.cpp.o.d"
+  "table5_ndm_shuffle"
+  "table5_ndm_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_ndm_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ndm_butterfly.dir/bench_util.cc.o"
+  "CMakeFiles/table6_ndm_butterfly.dir/bench_util.cc.o.d"
+  "CMakeFiles/table6_ndm_butterfly.dir/table6_ndm_butterfly.cpp.o"
+  "CMakeFiles/table6_ndm_butterfly.dir/table6_ndm_butterfly.cpp.o.d"
+  "table6_ndm_butterfly"
+  "table6_ndm_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ndm_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ndm_hotspot.dir/bench_util.cc.o"
+  "CMakeFiles/table7_ndm_hotspot.dir/bench_util.cc.o.d"
+  "CMakeFiles/table7_ndm_hotspot.dir/table7_ndm_hotspot.cpp.o"
+  "CMakeFiles/table7_ndm_hotspot.dir/table7_ndm_hotspot.cpp.o.d"
+  "table7_ndm_hotspot"
+  "table7_ndm_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ndm_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_scenarios.dir/figure_scenarios.cpp.o"
+  "CMakeFiles/figure_scenarios.dir/figure_scenarios.cpp.o.d"
+  "figure_scenarios"
+  "figure_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

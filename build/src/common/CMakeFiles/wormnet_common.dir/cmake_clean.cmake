@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormnet_common.dir/config.cc.o"
+  "CMakeFiles/wormnet_common.dir/config.cc.o.d"
+  "CMakeFiles/wormnet_common.dir/log.cc.o"
+  "CMakeFiles/wormnet_common.dir/log.cc.o.d"
+  "CMakeFiles/wormnet_common.dir/rng.cc.o"
+  "CMakeFiles/wormnet_common.dir/rng.cc.o.d"
+  "CMakeFiles/wormnet_common.dir/stats.cc.o"
+  "CMakeFiles/wormnet_common.dir/stats.cc.o.d"
+  "CMakeFiles/wormnet_common.dir/table.cc.o"
+  "CMakeFiles/wormnet_common.dir/table.cc.o.d"
+  "libwormnet_common.a"
+  "libwormnet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormnet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

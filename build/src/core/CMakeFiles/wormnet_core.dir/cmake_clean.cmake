@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormnet_core.dir/experiment.cc.o"
+  "CMakeFiles/wormnet_core.dir/experiment.cc.o.d"
+  "CMakeFiles/wormnet_core.dir/report.cc.o"
+  "CMakeFiles/wormnet_core.dir/report.cc.o.d"
+  "CMakeFiles/wormnet_core.dir/simulation.cc.o"
+  "CMakeFiles/wormnet_core.dir/simulation.cc.o.d"
+  "libwormnet_core.a"
+  "libwormnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detection/detector.cc" "src/detection/CMakeFiles/wormnet_detection.dir/detector.cc.o" "gcc" "src/detection/CMakeFiles/wormnet_detection.dir/detector.cc.o.d"
+  "/root/repo/src/detection/ndm.cc" "src/detection/CMakeFiles/wormnet_detection.dir/ndm.cc.o" "gcc" "src/detection/CMakeFiles/wormnet_detection.dir/ndm.cc.o.d"
+  "/root/repo/src/detection/pdm.cc" "src/detection/CMakeFiles/wormnet_detection.dir/pdm.cc.o" "gcc" "src/detection/CMakeFiles/wormnet_detection.dir/pdm.cc.o.d"
+  "/root/repo/src/detection/source_timeout.cc" "src/detection/CMakeFiles/wormnet_detection.dir/source_timeout.cc.o" "gcc" "src/detection/CMakeFiles/wormnet_detection.dir/source_timeout.cc.o.d"
+  "/root/repo/src/detection/timeout.cc" "src/detection/CMakeFiles/wormnet_detection.dir/timeout.cc.o" "gcc" "src/detection/CMakeFiles/wormnet_detection.dir/timeout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wormnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormnet_detection.dir/detector.cc.o"
+  "CMakeFiles/wormnet_detection.dir/detector.cc.o.d"
+  "CMakeFiles/wormnet_detection.dir/ndm.cc.o"
+  "CMakeFiles/wormnet_detection.dir/ndm.cc.o.d"
+  "CMakeFiles/wormnet_detection.dir/pdm.cc.o"
+  "CMakeFiles/wormnet_detection.dir/pdm.cc.o.d"
+  "CMakeFiles/wormnet_detection.dir/source_timeout.cc.o"
+  "CMakeFiles/wormnet_detection.dir/source_timeout.cc.o.d"
+  "CMakeFiles/wormnet_detection.dir/timeout.cc.o"
+  "CMakeFiles/wormnet_detection.dir/timeout.cc.o.d"
+  "libwormnet_detection.a"
+  "libwormnet_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormnet_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

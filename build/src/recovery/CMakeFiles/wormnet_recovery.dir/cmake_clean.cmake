@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormnet_recovery.dir/disha.cc.o"
+  "CMakeFiles/wormnet_recovery.dir/disha.cc.o.d"
+  "CMakeFiles/wormnet_recovery.dir/factory.cc.o"
+  "CMakeFiles/wormnet_recovery.dir/factory.cc.o.d"
+  "CMakeFiles/wormnet_recovery.dir/progressive.cc.o"
+  "CMakeFiles/wormnet_recovery.dir/progressive.cc.o.d"
+  "CMakeFiles/wormnet_recovery.dir/regressive.cc.o"
+  "CMakeFiles/wormnet_recovery.dir/regressive.cc.o.d"
+  "libwormnet_recovery.a"
+  "libwormnet_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormnet_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

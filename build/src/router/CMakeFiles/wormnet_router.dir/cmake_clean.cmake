@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormnet_router.dir/router.cc.o"
+  "CMakeFiles/wormnet_router.dir/router.cc.o.d"
+  "libwormnet_router.a"
+  "libwormnet_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormnet_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

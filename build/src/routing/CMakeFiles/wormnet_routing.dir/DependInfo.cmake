@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/routing.cc" "src/routing/CMakeFiles/wormnet_routing.dir/routing.cc.o" "gcc" "src/routing/CMakeFiles/wormnet_routing.dir/routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/router/CMakeFiles/wormnet_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wormnet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wormnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormnet_routing.dir/routing.cc.o"
+  "CMakeFiles/wormnet_routing.dir/routing.cc.o.d"
+  "libwormnet_routing.a"
+  "libwormnet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormnet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormnet_sim.dir/network.cc.o"
+  "CMakeFiles/wormnet_sim.dir/network.cc.o.d"
+  "CMakeFiles/wormnet_sim.dir/oracle.cc.o"
+  "CMakeFiles/wormnet_sim.dir/oracle.cc.o.d"
+  "CMakeFiles/wormnet_sim.dir/trace.cc.o"
+  "CMakeFiles/wormnet_sim.dir/trace.cc.o.d"
+  "CMakeFiles/wormnet_sim.dir/validate.cc.o"
+  "CMakeFiles/wormnet_sim.dir/validate.cc.o.d"
+  "libwormnet_sim.a"
+  "libwormnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormnet_topology.dir/mesh.cc.o"
+  "CMakeFiles/wormnet_topology.dir/mesh.cc.o.d"
+  "CMakeFiles/wormnet_topology.dir/mixed_torus.cc.o"
+  "CMakeFiles/wormnet_topology.dir/mixed_torus.cc.o.d"
+  "CMakeFiles/wormnet_topology.dir/topology.cc.o"
+  "CMakeFiles/wormnet_topology.dir/topology.cc.o.d"
+  "CMakeFiles/wormnet_topology.dir/torus.cc.o"
+  "CMakeFiles/wormnet_topology.dir/torus.cc.o.d"
+  "libwormnet_topology.a"
+  "libwormnet_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormnet_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/generator.cc" "src/traffic/CMakeFiles/wormnet_traffic.dir/generator.cc.o" "gcc" "src/traffic/CMakeFiles/wormnet_traffic.dir/generator.cc.o.d"
+  "/root/repo/src/traffic/length.cc" "src/traffic/CMakeFiles/wormnet_traffic.dir/length.cc.o" "gcc" "src/traffic/CMakeFiles/wormnet_traffic.dir/length.cc.o.d"
+  "/root/repo/src/traffic/pattern.cc" "src/traffic/CMakeFiles/wormnet_traffic.dir/pattern.cc.o" "gcc" "src/traffic/CMakeFiles/wormnet_traffic.dir/pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/wormnet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wormnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

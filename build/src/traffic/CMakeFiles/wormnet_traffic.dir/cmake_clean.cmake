@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormnet_traffic.dir/generator.cc.o"
+  "CMakeFiles/wormnet_traffic.dir/generator.cc.o.d"
+  "CMakeFiles/wormnet_traffic.dir/length.cc.o"
+  "CMakeFiles/wormnet_traffic.dir/length.cc.o.d"
+  "CMakeFiles/wormnet_traffic.dir/pattern.cc.o"
+  "CMakeFiles/wormnet_traffic.dir/pattern.cc.o.d"
+  "libwormnet_traffic.a"
+  "libwormnet_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormnet_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

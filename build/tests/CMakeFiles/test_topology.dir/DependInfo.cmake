@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/test_topology.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_topology.dir/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wormnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/wormnet_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wormnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/detection/CMakeFiles/wormnet_detection.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/wormnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/wormnet_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/wormnet_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wormnet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wormnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
