@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under ASan + UBSan.
+#
+# Uses a separate build tree (build-asan) so the normal build stays
+# untouched. Any sanitizer report fails the run: ASan aborts on
+# errors by default, and halt_on_error makes UBSan do the same.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . -DWORMNET_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -106,6 +106,21 @@ buildReport(const Simulation &sim, const ReportOptions &options)
        << '\n'
        << "regressive kills:    " << s.wKills << '\n';
 
+    if (const FaultModel *fm = net.faultModel()) {
+        sectionHeader(os, "faults");
+        os << "spec:                " << cfg.faults << '\n'
+           << "injected / repaired: " << s.faultsInjected << " / "
+           << s.faultsRepaired << '\n'
+           << "active links down:   " << fm->activeLinkFaults()
+           << '\n'
+           << "active routers down: " << fm->activeRouterFaults()
+           << '\n'
+           << "stranded kills:      " << s.faultKills << " ("
+           << s.faultFlitsDropped << " flits dropped)\n"
+           << "heads rerouted:      " << s.faultReroutes << '\n'
+           << "messages abandoned:  " << s.abandoned << '\n';
+    }
+
     sectionHeader(os, "channel utilisation (flits/cycle)");
     const RunningStat util = net.utilizationSummary();
     os << "mean / max / min:    " << util.mean() << " / "

@@ -39,6 +39,10 @@ SimulationConfig::fromConfig(const Config &cfg)
     c.oraclePeriod = cfg.getUint("oracle-period", c.oraclePeriod);
     c.maxSourceQueue = cfg.getUint("max-source-queue",
                                    c.maxSourceQueue);
+    c.faults = cfg.getString("faults", c.faults);
+    c.faultRepair = cfg.getUint("fault-repair", c.faultRepair);
+    c.maxRetries = static_cast<unsigned>(
+        cfg.getUint("max-retries", c.maxRetries));
     c.seed = cfg.getUint("seed", c.seed);
     return c;
 }
@@ -91,6 +95,7 @@ Simulation::Simulation(const SimulationConfig &config)
     np.injectionLimitFraction = config.injectionLimitFraction;
     np.oraclePeriod = config.oraclePeriod;
     np.maxSourceQueue = config.maxSourceQueue;
+    np.maxRetries = config.maxRetries;
     if (config.selection == "random")
         np.selection = VcSelection::Random;
     else if (config.selection == "firstfit")
@@ -101,6 +106,13 @@ Simulation::Simulation(const SimulationConfig &config)
     network_ = std::make_unique<Network>(
         *topology_, np, *routing_, *detector_, recovery_.get(),
         *pattern_, *lengths_, config.flitRate, config.seed);
+
+    if (!config.faults.empty()) {
+        FaultParams fp = FaultModel::parseSpec(config.faults);
+        fp.repairDelay = config.faultRepair;
+        faults_ = std::make_unique<FaultModel>(fp);
+        network_->attachFaultModel(faults_.get());
+    }
 }
 
 Simulation::~Simulation() = default;
@@ -137,6 +149,11 @@ Simulation::summary() const
     out.recoveredDeliveries = s.wRecoveredDeliveries;
     out.kills = s.wKills;
     out.trueDeadlockedMessages = s.trueDeadlockedMessages;
+    out.faultsInjected = s.faultsInjected;
+    out.faultsRepaired = s.faultsRepaired;
+    out.faultKills = s.faultKills;
+    out.faultReroutes = s.faultReroutes;
+    out.abandoned = s.abandoned;
     return out;
 }
 
@@ -159,6 +176,13 @@ SimSummary::toString() const
        << p95Latency << " / " << p99Latency << " cycles\n"
        << "recovered deliveries:   " << recoveredDeliveries << '\n'
        << "regressive kills:       " << kills << '\n';
+    if (faultsInjected > 0) {
+        os << "faults injected:        " << faultsInjected
+           << " (repaired " << faultsRepaired << ")\n"
+           << "fault kills/reroutes:   " << faultKills << " / "
+           << faultReroutes << '\n'
+           << "messages abandoned:     " << abandoned << '\n';
+    }
     return os.str();
 }
 

@@ -15,6 +15,7 @@
 #include "common/config.hh"
 #include "common/types.hh"
 #include "detection/detector.hh"
+#include "fault/fault.hh"
 #include "recovery/recovery.hh"
 #include "routing/routing.hh"
 #include "sim/network.hh"
@@ -69,6 +70,16 @@ struct SimulationConfig
     std::size_t maxSourceQueue = 0;
     /// @}
 
+    /** @name Fault injection. */
+    /// @{
+    /** Fault spec (see FaultModel::parseSpec); empty disables. */
+    std::string faults;
+    /** Cycles until an injected fault self-repairs (0 = permanent). */
+    Cycle faultRepair = 0;
+    /** Kills a stranded message tolerates before being abandoned. */
+    unsigned maxRetries = 32;
+    /// @}
+
     std::uint64_t seed = 1;
 
     /**
@@ -77,7 +88,8 @@ struct SimulationConfig
      * --vcs, --buf-depth, --inj-ports, --eje-ports, --routing,
      * --detector, --recovery, --selection, --pattern, --lengths,
      * --rate, --injection-limit, --injection-limit-fraction,
-     * --oracle-period, --max-source-queue, --seed.
+     * --oracle-period, --max-source-queue, --faults, --fault-repair,
+     * --max-retries, --seed.
      */
     static SimulationConfig fromConfig(const Config &cfg);
 };
@@ -103,6 +115,15 @@ struct SimSummary
     std::uint64_t recoveredDeliveries = 0;
     std::uint64_t kills = 0;
     std::uint64_t trueDeadlockedMessages = 0;
+
+    /** @name Fault injection (lifetime; zero without faults). */
+    /// @{
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsRepaired = 0;
+    std::uint64_t faultKills = 0;
+    std::uint64_t faultReroutes = 0;
+    std::uint64_t abandoned = 0;
+    /// @}
 
     /** Multi-line human-readable report. */
     std::string toString() const;
@@ -142,6 +163,7 @@ class Simulation
     std::unique_ptr<RoutingFunction> routing_;
     std::unique_ptr<DeadlockDetector> detector_;
     std::unique_ptr<RecoveryManager> recovery_;
+    std::unique_ptr<FaultModel> faults_;
     std::unique_ptr<Network> network_;
 };
 

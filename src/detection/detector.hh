@@ -120,6 +120,23 @@ class DeadlockDetector
         return false;
     }
 
+    /**
+     * Fault notification: output physical channel @p out_port of
+     * @p router changed fault state. A faulted channel cannot
+     * transmit, so sound detectors must exclude it from inactivity
+     * tracking and from "all feasible channels flagged" checks —
+     * otherwise every message routed toward the dead link becomes a
+     * false presumed deadlock. Default: ignore (timeout-style
+     * detectors key off the blocked head, not the channel).
+     */
+    virtual void
+    onPortFaultChanged(NodeId router, PortId out_port, bool faulty)
+    {
+        (void)router;
+        (void)out_port;
+        (void)faulty;
+    }
+
     /** Detector name for reports. */
     virtual std::string name() const = 0;
 };

@@ -27,6 +27,7 @@ NdmDetector::init(const DetectorContext &ctx)
     dtFlags_.assign(outs, 0);
     gp_.assign(ins, 0); // P everywhere
     waiting_.assign(ins * ctx.vcs, 0);
+    faultyOut_.assign(ctx.numRouters, 0);
 }
 
 bool
@@ -35,6 +36,14 @@ NdmDetector::onRoutingFailed(NodeId router, PortId in_port, VcId in_vc,
                              bool input_pc_fully_busy,
                              bool first_attempt, Cycle)
 {
+    // A dead output channel never transmits, so its DT/I flags carry
+    // no information about the occupant — judging by them would turn
+    // every message aimed at the fault into a false deadlock. With no
+    // live feasible channel left there is nothing to judge at all
+    // (the fault path, not detection, handles such messages).
+    feasible_ports &= ~faultyOut_[router];
+    if (feasible_ports == 0)
+        return false;
     waiting_[vcIdx(router, in_port, in_vc)] = feasible_ports;
 
     if (first_attempt) {
@@ -125,6 +134,7 @@ void
 NdmDetector::onCycleEnd(NodeId router, PortMask tx_mask,
                         PortMask occupied_mask, Cycle)
 {
+    occupied_mask &= ~faultyOut_[router];
     for (PortId q = 0; q < ctx_.numOutPorts; ++q) {
         const std::size_t idx = outIdx(router, q);
         const bool tx = (tx_mask >> q) & 1u;
@@ -149,6 +159,24 @@ NdmDetector::onCycleEnd(NodeId router, PortMask tx_mask,
             iFlags_[idx] = 0;
             dtFlags_[idx] = 0;
         }
+    }
+}
+
+void
+NdmDetector::onPortFaultChanged(NodeId router, PortId out_port,
+                                bool faulty)
+{
+    const PortMask bit = PortMask(1) << out_port;
+    if (faulty) {
+        faultyOut_[router] |= bit;
+        // Forget any inactivity accrued while the channel was alive;
+        // it would otherwise trip DT the moment the link is repaired.
+        const std::size_t idx = outIdx(router, out_port);
+        counters_[idx] = 0;
+        iFlags_[idx] = 0;
+        dtFlags_[idx] = 0;
+    } else {
+        faultyOut_[router] &= ~bit;
     }
 }
 

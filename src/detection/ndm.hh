@@ -85,6 +85,8 @@ class NdmDetector : public DeadlockDetector
                         VcId in_vc) override;
     void onCycleEnd(NodeId router, PortMask tx_mask,
                     PortMask occupied_mask, Cycle now) override;
+    void onPortFaultChanged(NodeId router, PortId out_port,
+                            bool faulty) override;
     std::string name() const override;
 
     /** @name White-box accessors for unit tests. */
@@ -135,6 +137,11 @@ class NdmDetector : public DeadlockDetector
     /** Per input VC: feasible-port mask of the currently blocked head
      *  (0 when not blocked); drives the selective re-arm policy. */
     std::vector<PortMask> waiting_;
+
+    /** Per router: faulted output channels — excluded from inactivity
+     *  tracking and from the all-DT detection test, since a dead link
+     *  will never transmit and would flag forever. */
+    std::vector<PortMask> faultyOut_;
 };
 
 } // namespace wormnet

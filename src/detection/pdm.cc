@@ -21,6 +21,7 @@ PdmDetector::init(const DetectorContext &ctx)
         std::size_t(ctx.numRouters) * ctx.numOutPorts;
     counters_.assign(outs, 0);
     ifFlags_.assign(outs, 0);
+    faultyOut_.assign(ctx.numRouters, 0);
 }
 
 bool
@@ -30,7 +31,12 @@ PdmDetector::onRoutingFailed(NodeId router, PortId, VcId, MsgId,
 {
     // Deadlock presumed when every feasible output channel is both
     // fully busy (implied by the failed attempt) and inactive for the
-    // timeout period.
+    // timeout period. Dead channels are excluded: their counters say
+    // nothing about the occupant, and a message with no live feasible
+    // channel is the fault path's problem, not a deadlock.
+    feasible_ports &= ~faultyOut_[router];
+    if (feasible_ports == 0)
+        return false;
     PortMask m = feasible_ports;
     while (m) {
         const unsigned q = static_cast<unsigned>(__builtin_ctz(m));
@@ -47,6 +53,8 @@ PdmDetector::onCycleEnd(NodeId router, PortMask tx_mask,
 {
     for (PortId q = 0; q < ctx_.numOutPorts; ++q) {
         const std::size_t idx = outIdx(router, q);
+        if ((faultyOut_[router] >> q) & 1u)
+            continue;
         const bool tx = (tx_mask >> q) & 1u;
         if (tx) {
             counters_[idx] = 0;
@@ -61,6 +69,21 @@ PdmDetector::onCycleEnd(NodeId router, PortMask tx_mask,
         ++counters_[idx];
         if (counters_[idx] > params_.threshold)
             ifFlags_[idx] = 1;
+    }
+}
+
+void
+PdmDetector::onPortFaultChanged(NodeId router, PortId out_port,
+                                bool faulty)
+{
+    const PortMask bit = PortMask(1) << out_port;
+    if (faulty) {
+        faultyOut_[router] |= bit;
+        const std::size_t idx = outIdx(router, out_port);
+        counters_[idx] = 0;
+        ifFlags_[idx] = 0;
+    } else {
+        faultyOut_[router] &= ~bit;
     }
 }
 

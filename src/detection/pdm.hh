@@ -49,6 +49,8 @@ class PdmDetector : public DeadlockDetector
                          Cycle now) override;
     void onCycleEnd(NodeId router, PortMask tx_mask,
                     PortMask occupied_mask, Cycle now) override;
+    void onPortFaultChanged(NodeId router, PortId out_port,
+                            bool faulty) override;
     std::string name() const override;
 
     /** @name White-box accessors for unit tests. */
@@ -70,6 +72,8 @@ class PdmDetector : public DeadlockDetector
     DetectorContext ctx_;
     std::vector<Cycle> counters_;
     std::vector<std::uint8_t> ifFlags_;
+    /** Per router: faulted output channels, never timed or judged. */
+    std::vector<PortMask> faultyOut_;
 };
 
 } // namespace wormnet

@@ -1,0 +1,280 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+namespace
+{
+
+constexpr const char *kSpecUsage =
+    "; expected a comma-separated list of "
+    "\"link:<src>><dst>@<cycle>\", \"router:<node>@<cycle>\" or "
+    "\"rate:<p>\"";
+
+std::uint64_t
+parseNumber(const std::string &s, const std::string &item)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (s.empty() || end == s.c_str() || *end != '\0')
+        fatal("malformed --faults item '", item, "': '", s,
+              "' is not a number", kSpecUsage);
+    return v;
+}
+
+} // namespace
+
+FaultParams
+FaultModel::parseSpec(const std::string &spec)
+{
+    FaultParams params;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        const auto colon = item.find(':');
+        if (colon == std::string::npos)
+            fatal("malformed --faults item '", item, "'", kSpecUsage);
+        const std::string kind = item.substr(0, colon);
+        const std::string rest = item.substr(colon + 1);
+
+        if (kind == "rate") {
+            char *end = nullptr;
+            const double p = std::strtod(rest.c_str(), &end);
+            if (rest.empty() || end == rest.c_str() || *end != '\0' ||
+                p < 0.0 || p > 1.0)
+                fatal("malformed --faults item '", item,
+                      "': rate must be a probability in [0,1]",
+                      kSpecUsage);
+            params.linkRate = p;
+            continue;
+        }
+
+        const auto at = rest.find('@');
+        if (at == std::string::npos)
+            fatal("malformed --faults item '", item,
+                  "': missing '@<cycle>'", kSpecUsage);
+        const std::string where = rest.substr(0, at);
+        const Cycle when = parseNumber(rest.substr(at + 1), item);
+
+        ScheduledFault f;
+        f.at = when;
+        if (kind == "link") {
+            const auto arrow = where.find('>');
+            if (arrow == std::string::npos)
+                fatal("malformed --faults item '", item,
+                      "': missing '>' between link endpoints",
+                      kSpecUsage);
+            f.kind = ScheduledFault::Kind::Link;
+            f.node = static_cast<NodeId>(
+                parseNumber(where.substr(0, arrow), item));
+            f.peer = static_cast<NodeId>(
+                parseNumber(where.substr(arrow + 1), item));
+        } else if (kind == "router") {
+            f.kind = ScheduledFault::Kind::Router;
+            f.node = static_cast<NodeId>(parseNumber(where, item));
+        } else {
+            fatal("malformed --faults item '", item,
+                  "': unknown fault kind '", kind, "'", kSpecUsage);
+        }
+        params.schedule.push_back(f);
+    }
+    if (params.schedule.empty() && params.linkRate == 0.0)
+        fatal("--faults spec '", spec, "' contains no faults",
+              kSpecUsage);
+    return params;
+}
+
+FaultModel::FaultModel(const FaultParams &params) : params_(params)
+{
+}
+
+void
+FaultModel::init(const Topology &topo, const RouterParams &rp,
+                 std::uint64_t seed)
+{
+    topo_ = &topo;
+    netPorts_ = topo.numNetPorts();
+    wn_assert(netPorts_ == rp.netPorts);
+    rng_.reseed(seed);
+
+    const NodeId n = topo.numNodes();
+    causeCount_.assign(std::size_t(n) * netPorts_, 0);
+    faultyMask_.assign(n, 0);
+    routerFaulty_.assign(n, 0);
+
+    schedule_.clear();
+    nextScheduled_ = 0;
+    for (const ScheduledFault &f : params_.schedule) {
+        if (f.node >= n)
+            fatal("--faults: node ", f.node,
+                  " is outside this topology (", n, " nodes)");
+        ResolvedFault r;
+        r.kind = f.kind;
+        r.node = f.node;
+        r.outPort = kInvalidPort;
+        r.at = f.at;
+        if (f.kind == ScheduledFault::Kind::Link) {
+            if (f.peer >= n)
+                fatal("--faults: node ", f.peer,
+                      " is outside this topology (", n, " nodes)");
+            for (unsigned d = 0;
+                 d < topo.numDims() && r.outPort == kInvalidPort;
+                 ++d) {
+                for (const bool positive : {true, false}) {
+                    if (topo.neighbor(f.node, d, positive) ==
+                        f.peer) {
+                        r.outPort = Topology::outPort(d, positive);
+                        break;
+                    }
+                }
+            }
+            if (r.outPort == kInvalidPort)
+                fatal("--faults: no link ", f.node, ">", f.peer,
+                      " in this topology");
+        }
+        schedule_.push_back(r);
+    }
+    std::stable_sort(schedule_.begin(), schedule_.end(),
+                     [](const ResolvedFault &a,
+                        const ResolvedFault &b) {
+                         return a.at < b.at;
+                     });
+}
+
+void
+FaultModel::addLinkCause(NodeId node, PortId out_port, int delta)
+{
+    std::uint8_t &count =
+        causeCount_[std::size_t(node) * netPorts_ + out_port];
+    const bool was = count > 0;
+    wn_assert(delta > 0 || count > 0);
+    count = static_cast<std::uint8_t>(int(count) + delta);
+    const bool is = count > 0;
+    if (was == is)
+        return;
+    if (is) {
+        faultyMask_[node] |= PortMask(1) << out_port;
+        ++activeLinks_;
+    } else {
+        faultyMask_[node] &= ~(PortMask(1) << out_port);
+        wn_assert(activeLinks_ > 0);
+        --activeLinks_;
+    }
+    changes_.push_back(FaultChange{node, out_port, is});
+}
+
+void
+FaultModel::failLink(NodeId node, PortId out_port, Cycle now)
+{
+    ++injected_;
+    addLinkCause(node, out_port, +1);
+    if (params_.repairDelay > 0)
+        repairs_.push(Repair{now + params_.repairDelay,
+                             ScheduledFault::Kind::Link, node,
+                             out_port});
+}
+
+void
+FaultModel::repairLink(NodeId node, PortId out_port)
+{
+    ++repaired_;
+    addLinkCause(node, out_port, -1);
+}
+
+void
+FaultModel::failRouter(NodeId node, Cycle now)
+{
+    ++injected_;
+    if (routerFaulty_[node]++ == 0)
+        ++activeRouters_;
+    // Every incident link fails with the router: the router's own
+    // output ports and each neighbour's port towards it.
+    for (unsigned d = 0; d < topo_->numDims(); ++d) {
+        for (const bool positive : {true, false}) {
+            const NodeId peer = topo_->neighbor(node, d, positive);
+            if (peer == kInvalidNode)
+                continue; // mesh edge
+            addLinkCause(node, Topology::outPort(d, positive), +1);
+            addLinkCause(peer, Topology::outPort(d, !positive), +1);
+        }
+    }
+    if (params_.repairDelay > 0)
+        repairs_.push(Repair{now + params_.repairDelay,
+                             ScheduledFault::Kind::Router, node,
+                             kInvalidPort});
+}
+
+void
+FaultModel::repairRouter(NodeId node)
+{
+    ++repaired_;
+    wn_assert(routerFaulty_[node] > 0);
+    if (--routerFaulty_[node] == 0) {
+        wn_assert(activeRouters_ > 0);
+        --activeRouters_;
+    }
+    for (unsigned d = 0; d < topo_->numDims(); ++d) {
+        for (const bool positive : {true, false}) {
+            const NodeId peer = topo_->neighbor(node, d, positive);
+            if (peer == kInvalidNode)
+                continue;
+            addLinkCause(node, Topology::outPort(d, positive), -1);
+            addLinkCause(peer, Topology::outPort(d, !positive), -1);
+        }
+    }
+}
+
+bool
+FaultModel::tick(Cycle now)
+{
+    wn_assert(topo_ != nullptr && "FaultModel used before init()");
+    changes_.clear();
+
+    while (!repairs_.empty() && repairs_.top().when <= now) {
+        const Repair r = repairs_.top();
+        repairs_.pop();
+        if (r.kind == ScheduledFault::Kind::Link)
+            repairLink(r.node, r.outPort);
+        else
+            repairRouter(r.node);
+    }
+
+    while (nextScheduled_ < schedule_.size() &&
+           schedule_[nextScheduled_].at <= now) {
+        const ResolvedFault &f = schedule_[nextScheduled_++];
+        if (f.kind == ScheduledFault::Kind::Link)
+            failLink(f.node, f.outPort, now);
+        else
+            failRouter(f.node, now);
+    }
+
+    if (params_.linkRate > 0.0) {
+        for (NodeId node = 0; node < topo_->numNodes(); ++node) {
+            for (unsigned d = 0; d < topo_->numDims(); ++d) {
+                for (const bool positive : {true, false}) {
+                    if (topo_->neighbor(node, d, positive) ==
+                        kInvalidNode)
+                        continue;
+                    const PortId q =
+                        Topology::outPort(d, positive);
+                    if (linkFaulty(node, q))
+                        continue; // already down
+                    if (rng_.nextBool(params_.linkRate))
+                        failLink(node, q, now);
+                }
+            }
+        }
+    }
+
+    return !changes_.empty();
+}
+
+} // namespace wormnet

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Fault injection for links and routers.
+ *
+ * The paper's detection heuristics assume every physical channel can
+ * eventually transmit; a failed link would make its inactivity
+ * counter grow without bound and turn every message routed toward it
+ * into a false presumed deadlock. The FaultModel hardens the
+ * simulator against exactly that: it fails individual links or whole
+ * routers, either on a deterministic schedule or stochastically, and
+ * (optionally) repairs them after a fixed delay — in the spirit of
+ * dynamic-reconfiguration schemes (DBR) and detection mechanisms that
+ * must stay sound in lossy data planes (DCFIT).
+ *
+ * Fault semantics:
+ *  - A faulted *link* transmits no flits in either use of its data
+ *    path (the Network masks the output port out of switch allocation
+ *    and out of every routing feasible set). The credit-return wire
+ *    is assumed to survive, so buffer bookkeeping stays exact and a
+ *    repaired link is immediately usable.
+ *  - A faulted *router* fails every incident link (its own output
+ *    ports and each neighbour's port towards it) and stops generating
+ *    and injecting traffic until repaired.
+ *  - Worms caught mid-flight across a failing link are stranded: the
+ *    Network kills them and re-queues them at their source with
+ *    bounded retries, after which they are counted as abandoned.
+ *
+ * Spec grammar (comma-separated items, see parseSpec):
+ *    link:<src>><dst>@<cycle>   fail the src->dst link at <cycle>
+ *    router:<node>@<cycle>      fail the whole router at <cycle>
+ *    rate:<p>                   each healthy link fails independently
+ *                               with probability p per cycle
+ */
+
+#ifndef WORMNET_FAULT_FAULT_HH
+#define WORMNET_FAULT_FAULT_HH
+
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "router/router.hh"
+#include "topology/topology.hh"
+
+namespace wormnet
+{
+
+/** One scheduled (deterministic) fault. */
+struct ScheduledFault
+{
+    enum class Kind : std::uint8_t
+    {
+        Link,
+        Router,
+    };
+
+    Kind kind = Kind::Link;
+    NodeId node = kInvalidNode; ///< link source, or the router
+    NodeId peer = kInvalidNode; ///< link destination (links only)
+    Cycle at = 0;               ///< activation cycle
+};
+
+/** Configuration for a FaultModel. */
+struct FaultParams
+{
+    /** Deterministic fault schedule (may be empty). */
+    std::vector<ScheduledFault> schedule;
+
+    /** Per-link per-cycle failure probability (0 disables). */
+    double linkRate = 0.0;
+
+    /** Cycles until a fault self-repairs (0 = permanent). */
+    Cycle repairDelay = 0;
+};
+
+/** A link whose fault state flipped during the last tick(). */
+struct FaultChange
+{
+    NodeId node = kInvalidNode;
+    PortId outPort = kInvalidPort;
+    bool faulty = false; ///< new state
+};
+
+/**
+ * Tracks which links and routers are currently faulted and advances
+ * that state one cycle at a time. Owned by the Simulation (or a
+ * test), attached to the Network, which queries it every cycle.
+ *
+ * Link fault state is reference-counted so overlapping causes (a
+ * scheduled link fault on a link also covered by a router fault)
+ * compose and repair independently.
+ */
+class FaultModel
+{
+  public:
+    explicit FaultModel(const FaultParams &params);
+
+    /**
+     * Parse a "--faults" spec string into FaultParams. fatal() with a
+     * usage hint on any malformed item (note repairDelay is not part
+     * of the spec; it comes from --fault-repair).
+     */
+    static FaultParams parseSpec(const std::string &spec);
+
+    /**
+     * Resolve the schedule against a concrete topology and seed the
+     * stochastic stream. fatal() when a scheduled link does not exist.
+     * Called by Network::attachFaultModel().
+     */
+    void init(const Topology &topo, const RouterParams &params,
+              std::uint64_t seed);
+
+    /**
+     * Advance to cycle @p now: activate due scheduled faults, draw
+     * stochastic link faults, apply due repairs.
+     * @return true when any link or router changed state; the
+     *         individual link flips are then available via changes().
+     */
+    bool tick(Cycle now);
+
+    /** Link flips from the last tick() that returned true. */
+    const std::vector<FaultChange> &changes() const
+    {
+        return changes_;
+    }
+
+    /** @name Current fault state. */
+    /// @{
+    /** Bitmask of faulted *network* output ports of @p node. */
+    PortMask faultyOutMask(NodeId node) const
+    {
+        return faultyMask_[node];
+    }
+
+    bool
+    linkFaulty(NodeId node, PortId out_port) const
+    {
+        return (faultyMask_[node] >> out_port) & 1u;
+    }
+
+    bool routerFaulty(NodeId node) const
+    {
+        return routerFaulty_[node] != 0;
+    }
+
+    /** Links faulted right now (each direction counts separately). */
+    std::size_t activeLinkFaults() const { return activeLinks_; }
+
+    /** Routers faulted right now. */
+    std::size_t activeRouterFaults() const { return activeRouters_; }
+    /// @}
+
+    /** @name Lifetime fault counters. */
+    /// @{
+    std::uint64_t faultsInjected() const { return injected_; }
+    std::uint64_t faultsRepaired() const { return repaired_; }
+    /// @}
+
+    const FaultParams &params() const { return params_; }
+
+  private:
+    /** A pending self-repair. */
+    struct Repair
+    {
+        Cycle when = 0;
+        ScheduledFault::Kind kind = ScheduledFault::Kind::Link;
+        NodeId node = kInvalidNode;
+        PortId outPort = kInvalidPort; ///< links only
+
+        bool operator>(const Repair &o) const
+        {
+            return when > o.when;
+        }
+    };
+
+    void failLink(NodeId node, PortId out_port, Cycle now);
+    void repairLink(NodeId node, PortId out_port);
+    void failRouter(NodeId node, Cycle now);
+    void repairRouter(NodeId node);
+
+    /** Adjust one link's fault reference count and record the flip. */
+    void addLinkCause(NodeId node, PortId out_port, int delta);
+
+    FaultParams params_;
+    const Topology *topo_ = nullptr;
+    unsigned netPorts_ = 0;
+    Rng rng_;
+
+    /** Schedule resolved to (node, out_port); ordered by cycle. */
+    struct ResolvedFault
+    {
+        ScheduledFault::Kind kind;
+        NodeId node;
+        PortId outPort; ///< links only
+        Cycle at;
+    };
+    std::vector<ResolvedFault> schedule_;
+    std::size_t nextScheduled_ = 0;
+
+    /** Per (node, network out port): number of active fault causes. */
+    std::vector<std::uint8_t> causeCount_;
+    /** Per node: bitmask of faulted network output ports. */
+    std::vector<PortMask> faultyMask_;
+    /** Per node: active router-fault causes (schedule is the only
+     *  source today, but counted for symmetry). */
+    std::vector<std::uint8_t> routerFaulty_;
+
+    std::priority_queue<Repair, std::vector<Repair>,
+                        std::greater<Repair>>
+        repairs_;
+
+    std::vector<FaultChange> changes_;
+    std::size_t activeLinks_ = 0;
+    std::size_t activeRouters_ = 0;
+    std::uint64_t injected_ = 0;
+    std::uint64_t repaired_ = 0;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_FAULT_FAULT_HH

@@ -103,6 +103,27 @@ DishaRecovery::tick()
     }
 }
 
+void
+DishaRecovery::onMessageKilled(MsgId msg)
+{
+    // Fault-killed while queueing for a token: just forget it.
+    const auto w = std::find(waiting_.begin(), waiting_.end(), msg);
+    if (w != waiting_.end()) {
+        waiting_.erase(w);
+        return;
+    }
+    // Fault-killed mid-drain: return the token.
+    const auto d = std::find_if(draining_.begin(), draining_.end(),
+                                [msg](const Drain &dr) {
+                                    return dr.msg == msg;
+                                });
+    if (d != draining_.end()) {
+        draining_.erase(d);
+        ++freeTokens_;
+        grantTokens();
+    }
+}
+
 std::size_t
 DishaRecovery::pending() const
 {

@@ -59,6 +59,9 @@ makeRecoveryManager(const std::string &spec)
         RegressiveParams p;
         if (parts.size() > 1)
             p.retryDelay = parseCycle(parts[1], "regressive delay");
+        if (parts.size() > 2)
+            p.maxRetries = static_cast<unsigned>(
+                parseCycle(parts[2], "regressive max retries"));
         return std::make_unique<RegressiveRecovery>(p);
     }
 

@@ -101,6 +101,23 @@ ProgressiveRecovery::tick()
     }
 }
 
+void
+ProgressiveRecovery::onMessageKilled(MsgId msg)
+{
+    // A fault strands a worm only while it still holds channels, i.e.
+    // while it may be on some node's drain list. Fully absorbed
+    // messages (in deliveries_) hold nothing and are never
+    // fault-killed.
+    for (auto &list : draining_) {
+        const auto it = std::find(list.begin(), list.end(), msg);
+        if (it == list.end())
+            continue;
+        list.erase(it);
+        --numDraining_;
+        return;
+    }
+}
+
 std::size_t
 ProgressiveRecovery::pending() const
 {

@@ -47,6 +47,7 @@ class ProgressiveRecovery : public RecoveryManager
     void init(Network &net) override;
     void onDeadlockDetected(MsgId msg) override;
     void tick() override;
+    void onMessageKilled(MsgId msg) override;
     std::size_t pending() const override;
     std::string name() const override;
 

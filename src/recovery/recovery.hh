@@ -46,6 +46,15 @@ class RecoveryManager
     /** Called once per cycle after the switch phase. */
     virtual void tick() = 0;
 
+    /**
+     * The Network is about to kill @p msg outside this manager's
+     * control (a fault stranded the worm). Fired *before* the kill,
+     * while the message still holds its channels, so managers can
+     * drop any bookkeeping that refers to it (drain lists, token
+     * queues, pending kills). Default: nothing to drop.
+     */
+    virtual void onMessageKilled(MsgId msg) { (void)msg; }
+
     /** Messages currently being recovered (draining or in flight on
      *  the recovery path). */
     virtual std::size_t pending() const = 0;
@@ -55,7 +64,8 @@ class RecoveryManager
 
 /**
  * Build a recovery manager from a spec string:
- *   "progressive[:overhead[:per_hop]]" | "regressive[:delay]" |
+ *   "progressive[:overhead[:per_hop]]" |
+ *   "regressive[:delay[:max_retries]]" |
  *   "disha[:tokens[:lane_hop_cost[:token_handoff]]]"
  */
 std::unique_ptr<RecoveryManager>

@@ -1,5 +1,6 @@
 #include "recovery/regressive.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.hh"
@@ -44,16 +45,33 @@ RegressiveRecovery::tick()
 {
     wn_assert(net_ != nullptr);
     for (const MsgId msg : killList_) {
-        // Linear back-off with deterministic per-message jitter so
-        // the members of a killed cycle do not retry in lockstep.
         const Message &m = net_->messages().get(msg);
-        const Cycle backoff = params_.retryDelay * (m.retries + 1);
+        if (m.retries >= params_.maxRetries) {
+            net_->killAndAbandon(msg);
+            continue;
+        }
+        // Capped linear back-off with deterministic per-message
+        // jitter so the members of a killed cycle do not retry in
+        // lockstep.
+        const Cycle steps = std::min<Cycle>(m.retries + 1,
+                                            params_.backoffCap);
+        const Cycle backoff = params_.retryDelay * steps;
         const Cycle jitter =
             (static_cast<Cycle>(msg) * 2654435761u) %
             (params_.retryDelay + 1);
         net_->killAndRequeue(msg, backoff + jitter);
     }
     killList_.clear();
+}
+
+void
+RegressiveRecovery::onMessageKilled(MsgId msg)
+{
+    // The fault path beat us to the kill; drop our pending one so the
+    // message is not killed twice.
+    killList_.erase(
+        std::remove(killList_.begin(), killList_.end(), msg),
+        killList_.end());
 }
 
 std::size_t
@@ -66,7 +84,8 @@ std::string
 RegressiveRecovery::name() const
 {
     std::ostringstream os;
-    os << "regressive(retry=" << params_.retryDelay << ")";
+    os << "regressive(retry=" << params_.retryDelay
+       << ", max=" << params_.maxRetries << ")";
     return os.str();
 }
 

@@ -21,16 +21,23 @@ namespace wormnet
  * Configuration for RegressiveRecovery.
  *
  * The actual delay before re-injection is
- *   retryDelay * (retries) + jitter(msg)
- * — linear back-off plus a deterministic per-message jitter. Without
- * the jitter, the members of a killed cycle are re-injected in
- * lockstep and can re-form the identical deadlock forever (the
+ *   retryDelay * min(retries + 1, backoffCap) + jitter(msg)
+ * — linear back-off, capped, plus a deterministic per-message jitter.
+ * Without the jitter, the members of a killed cycle are re-injected
+ * in lockstep and can re-form the identical deadlock forever (the
  * classic synchronised-retry livelock of abort-and-retry schemes).
+ * A message killed more than maxRetries times is abandoned instead of
+ * retried — under a permanent fault or a persistent adversarial
+ * pattern, unbounded retries just re-offer the same doomed load.
  */
 struct RegressiveParams
 {
     /** Base back-off unit between the kill and the re-injection. */
     Cycle retryDelay = 32;
+    /** Kills after which the message is abandoned, not re-queued. */
+    unsigned maxRetries = 32;
+    /** Back-off stops growing past retryDelay * backoffCap. */
+    unsigned backoffCap = 8;
 };
 
 /** Abort-and-retry recovery manager. */
@@ -42,6 +49,7 @@ class RegressiveRecovery : public RecoveryManager
     void init(Network &net) override;
     void onDeadlockDetected(MsgId msg) override;
     void tick() override;
+    void onMessageKilled(MsgId msg) override;
     std::size_t pending() const override;
     std::string name() const override;
 

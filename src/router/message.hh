@@ -24,6 +24,7 @@ enum class MsgStatus : std::uint8_t
     Recovering, ///< marked deadlocked, draining into recovery buffer
     Delivered,  ///< tail consumed at destination (or via recovery)
     Killed,     ///< removed by regressive recovery, awaiting re-inject
+    Abandoned,  ///< gave up after exhausting its retry budget
 };
 
 /** One virtual channel held by a message's worm. */

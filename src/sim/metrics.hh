@@ -31,6 +31,17 @@ struct SimStats
     std::uint64_t detections = 0;  ///< deadlock verdicts raised
     std::uint64_t kills = 0;       ///< regressive recoveries
     std::uint64_t recoveredDeliveries = 0; ///< via recovery path
+    std::uint64_t abandoned = 0;   ///< dropped after retry exhaustion
+    /// @}
+
+    /** @name Fault injection (lifetime totals). */
+    /// @{
+    std::uint64_t faultsInjected = 0;   ///< link/router fault events
+    std::uint64_t faultsRepaired = 0;   ///< transient faults healed
+    std::uint64_t faultKills = 0;       ///< worms stranded and killed
+    std::uint64_t faultReroutes = 0;    ///< heads un-routed off a
+                                        ///< faulted port before crossing
+    std::uint64_t faultFlitsDropped = 0; ///< flits of stranded worms
     /// @}
 
     /** @name Measurement window. */

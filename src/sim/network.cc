@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "fault/fault.hh"
 #include "recovery/recovery.hh"
 #include "sim/oracle.hh"
 
@@ -122,10 +123,26 @@ Network::injectMessage(NodeId src, NodeId dst, unsigned length)
 }
 
 void
+Network::attachFaultModel(FaultModel *faults)
+{
+    faults_ = faults;
+    if (faults_)
+        faults_->init(topo_, routerParams_, rng_.split().next());
+}
+
+bool
+Network::portFaulty(NodeId node, PortId out_port) const
+{
+    return faults_ && out_port < routerParams_.netPorts &&
+           faults_->linkFaulty(node, out_port);
+}
+
+void
 Network::step()
 {
     std::fill(txMask_.begin(), txMask_.end(), 0);
 
+    faultTick();
     generateAndInject();
     routeAll();
     switchAll();
@@ -148,6 +165,11 @@ Network::step()
         creditReturns_.clear();
     }
 
+    // Kills queued by the routing phase (heads with every live
+    // candidate gone) happen after the switch phase so the cycle's
+    // transfers acted on consistent state.
+    processFaultKills();
+
     detectorCycleEnd();
     oracleTick();
 
@@ -158,6 +180,106 @@ bool
 Network::injectionAllowed(const Router &rt) const
 {
     return rt.busyNetworkOutputVcs() <= injectionLimitCount_;
+}
+
+void
+Network::faultTick()
+{
+    if (!faults_)
+        return;
+    const bool changed = faults_->tick(now_);
+    stats_.faultsInjected = faults_->faultsInjected();
+    stats_.faultsRepaired = faults_->faultsRepaired();
+    if (!changed)
+        return;
+    for (const FaultChange &c : faults_->changes())
+        detector_.onPortFaultChanged(c.node, c.outPort, c.faulty);
+    scanForStrandedWorms();
+    processFaultKills();
+}
+
+void
+Network::scanForStrandedWorms()
+{
+    bool any_down = false;
+    for (const FaultChange &c : faults_->changes())
+        any_down |= c.faulty;
+    if (!any_down)
+        return;
+
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        const bool dead_router = faults_->routerFaulty(node);
+        Router &rt = routers_[node];
+        for (PortId p = 0; p < routerParams_.numInPorts(); ++p) {
+            for (VcId v = 0; v < routerParams_.vcs; ++v) {
+                InputVc &vc = rt.inputVc(p, v);
+                if (vc.free())
+                    continue;
+                if (dead_router) {
+                    // Anything still buffered in a dead router is
+                    // lost.
+                    faultKillQueue_.push_back(vc.msg);
+                    continue;
+                }
+                if (!vc.routed || !portFaulty(node, vc.outPort))
+                    continue;
+                const Message &m = messages_.get(vc.msg);
+                const PathLink &head = m.headLink();
+                if (head.node == node && head.port == p &&
+                    head.vc == v) {
+                    // The worm's head is routed toward the dead link
+                    // but no flit has crossed it yet (crossing would
+                    // have pushed a new head link): back the decision
+                    // out and let the next routing phase pick a live
+                    // channel.
+                    OutputVc &out = rt.outputVc(vc.outPort, vc.outVc);
+                    wn_assert(out.allocated && out.msg == vc.msg);
+                    wn_assert(out.credits == routerParams_.bufDepth);
+                    out.release();
+                    vc.routed = false;
+                    vc.outPort = kInvalidPort;
+                    vc.outVc = kInvalidVc;
+                    vc.allocCycle = kNever;
+                    vc.attempted = false;
+                    vc.headBlockedSince = kNever;
+                    ++stats_.faultReroutes;
+                    trace(TraceEvent::Rerouted, vc.msg, node, p, v);
+                } else {
+                    // Body/tail flits still feed the dead link: the
+                    // worm is cut in two and cannot make progress.
+                    faultKillQueue_.push_back(vc.msg);
+                }
+            }
+        }
+    }
+}
+
+void
+Network::processFaultKills()
+{
+    for (const MsgId msg : faultKillQueue_) {
+        Message &m = messages_.get(msg);
+        if (m.status != MsgStatus::Active &&
+            m.status != MsgStatus::Recovering)
+            continue; // queued twice (worm hit at several points)
+        stats_.faultFlitsDropped += m.flitsInjected - m.flitsEjected;
+        ++stats_.faultKills;
+        trace(TraceEvent::FaultKilled, msg,
+              m.numLinks() > 0 ? m.headLink().node : kInvalidNode);
+        if (recovery_)
+            recovery_->onMessageKilled(msg);
+        if (m.retries >= params_.maxRetries) {
+            killAndAbandon(msg);
+            continue;
+        }
+        // Deterministic per-message jitter, as in regressive
+        // recovery, so co-stranded messages do not retry in lockstep.
+        const Cycle jitter =
+            (static_cast<Cycle>(msg) * 2654435761u) %
+            (params_.faultRetryDelay + 1);
+        killAndRequeue(msg, params_.faultRetryDelay + jitter);
+    }
+    faultKillQueue_.clear();
 }
 
 void
@@ -176,6 +298,8 @@ Network::generateAndInject()
     }
 
     for (NodeId node = 0; node < numNodes(); ++node) {
+        if (faults_ && faults_->routerFaulty(node))
+            continue; // a dead router neither generates nor injects
         if (auto gen = generators_[node].tick()) {
             if (params_.maxSourceQueue == 0 ||
                 sourceQueues_[node].size() < params_.maxSourceQueue) {
@@ -326,9 +450,13 @@ Network::routeOne(Router &rt, PortId port, VcId v)
     const Message &m = messages_.get(vc.msg);
     routing_.route(rt.nodeId(), m.dst, port, v, candScratch_);
 
+    const PortMask fault_mask =
+        faults_ ? faults_->faultyOutMask(rt.nodeId()) : 0;
     freeScratch_.clear();
     PortMask feasible = 0;
     for (const auto &cand : candScratch_) {
+        if ((fault_mask >> cand.port) & 1u)
+            continue; // dead link: not a feasible channel
         feasible |= PortMask(1) << cand.port;
         std::uint32_t mask = cand.vcMask;
         while (mask) {
@@ -340,6 +468,15 @@ Network::routeOne(Router &rt, PortId port, VcId v)
                 downstreamVcFree(rt, cand.port, v2))
                 freeScratch_.push_back(PortVc{cand.port, v2});
         }
+    }
+
+    if (feasible == 0 && !candScratch_.empty()) {
+        // Every channel the routing function offers is faulted: the
+        // head can never advance, and judging dead channels would be
+        // a guaranteed false deadlock. Hand the worm to the fault
+        // path instead of the detector.
+        faultKillQueue_.push_back(vc.msg);
+        return;
     }
 
     if (!freeScratch_.empty()) {
@@ -417,7 +554,11 @@ Network::switchAll()
 {
     for (NodeId node = 0; node < numNodes(); ++node) {
         Router &rt = routers_[node];
+        const PortMask fault_mask =
+            faults_ ? faults_->faultyOutMask(node) : 0;
         for (PortId q = 0; q < routerParams_.numOutPorts(); ++q) {
+            if ((fault_mask >> q) & 1u)
+                continue; // dead link transmits nothing
             // Each allocated output VC names its owning input VC, so
             // the arbiter only has to look at vcs candidates.
             const unsigned vcs = routerParams_.vcs;
@@ -463,6 +604,7 @@ Network::transferFlit(Router &rt, PortId out_port, PortId in_port,
     const VcId out_vc = vc.outVc;
     OutputVc &out = rt.outputVc(out_port, out_vc);
 
+    wn_assert(!portFaulty(rt.nodeId(), out_port));
     const Flit f = popFlit(rt, in_port, in_vc);
     rt.noteTx(out_port, now_);
     ++txCount_[std::size_t(rt.nodeId()) *
@@ -565,16 +707,16 @@ Network::markDelivered(MsgId msg, bool via_recovery)
 }
 
 void
-Network::killAndRequeue(MsgId msg, Cycle reinject_delay)
+Network::releaseWorm(Message &m)
 {
-    Message &m = messages_.get(msg);
     wn_assert(m.status == MsgStatus::Active ||
               m.status == MsgStatus::Recovering);
 
     // A worm killed while its header is routed (possible with
-    // source-side detection) may hold a forward output allocation
-    // whose head flit has not crossed yet; release it explicitly —
-    // the per-link walk below only restores *upstream* allocations.
+    // source-side detection or a fault strike) may hold a forward
+    // output allocation whose head flit has not crossed yet; release
+    // it explicitly — the per-link walk below only restores
+    // *upstream* allocations.
     if (m.numLinks() > 0) {
         const PathLink head = m.headLink();
         const InputVc &hvc =
@@ -582,7 +724,7 @@ Network::killAndRequeue(MsgId msg, Cycle reinject_delay)
         if (hvc.routed) {
             OutputVc &o =
                 routers_[head.node].outputVc(hvc.outPort, hvc.outVc);
-            if (o.allocated && o.msg == msg)
+            if (o.allocated && o.msg == m.id)
                 o.release();
         }
     }
@@ -591,13 +733,13 @@ Network::killAndRequeue(MsgId msg, Cycle reinject_delay)
         const PathLink &link = m.link(i);
         Router &rt = routers_[link.node];
         InputVc &vc = rt.inputVc(link.port, link.vc);
-        wn_assert(vc.msg == msg);
+        wn_assert(vc.msg == m.id);
 
         const LinkEnd &up = rt.upstream(link.port);
         if (up.valid()) {
             OutputVc &o =
                 routers_[up.node].outputVc(up.port, link.vc);
-            if (o.allocated && o.msg == msg)
+            if (o.allocated && o.msg == m.id)
                 o.release();
             // The buffer is about to be emptied: the full credit
             // budget is available again.
@@ -611,15 +753,32 @@ Network::killAndRequeue(MsgId msg, Cycle reinject_delay)
     m.clearLinks();
     m.flitsInjected = 0;
     m.flitsEjected = 0;
+    wn_assert(inFlight_ > 0);
+    --inFlight_;
+}
+
+void
+Network::killAndRequeue(MsgId msg, Cycle reinject_delay)
+{
+    Message &m = messages_.get(msg);
+    releaseWorm(m);
     m.status = MsgStatus::Killed;
     ++m.retries;
     ++stats_.kills;
     trace(TraceEvent::Killed, msg, m.src);
     if (measuring_)
         ++stats_.wKills;
-    wn_assert(inFlight_ > 0);
-    --inFlight_;
     pendingReinjects_.push(Reinject{now_ + reinject_delay, msg});
+}
+
+void
+Network::killAndAbandon(MsgId msg)
+{
+    Message &m = messages_.get(msg);
+    releaseWorm(m);
+    m.status = MsgStatus::Abandoned;
+    ++stats_.abandoned;
+    trace(TraceEvent::Abandoned, msg, m.src);
 }
 
 bool
@@ -650,6 +809,10 @@ Network::detectorCycleEnd()
             if (rt.outputPcOccupied(q))
                 occupied |= PortMask(1) << q;
         }
+        // Dead channels are not timed: they will never transmit, so
+        // their inactivity says nothing about deadlock.
+        if (faults_)
+            occupied &= ~faults_->faultyOutMask(node);
         detector_.onCycleEnd(node, txMask_[node], occupied, now_);
     }
 }

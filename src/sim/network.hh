@@ -48,6 +48,7 @@ namespace wormnet
 {
 
 class RecoveryManager;
+class FaultModel;
 
 /** How the allocator picks among multiple free candidate VCs. */
 enum class VcSelection : std::uint8_t
@@ -81,6 +82,14 @@ struct NetworkParams
     /** Cap on messages queued per source before generation stalls
      *  (keeps saturated runs bounded; 0 = unbounded). */
     std::size_t maxSourceQueue = 0;
+
+    /** @name Fault handling (only used with an attached FaultModel). */
+    /// @{
+    /** Kills a stranded message tolerates before being abandoned. */
+    unsigned maxRetries = 32;
+    /** Base re-injection delay after a fault kill. */
+    Cycle faultRetryDelay = 32;
+    /// @}
 };
 
 /** The simulator core. */
@@ -152,6 +161,19 @@ class Network
     /** Attach (or detach with nullptr) an event tracer. Not owned. */
     void attachTracer(Tracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Attach a fault model (not owned; nullptr detaches). The model
+     * is resolved against this network's topology and seeded from the
+     * master stream; it then advances at the start of every step().
+     */
+    void attachFaultModel(FaultModel *faults);
+
+    const FaultModel *faultModel() const { return faults_; }
+
+    /** The (node, out_port) link cannot currently transmit. Always
+     *  false without an attached fault model or for ejection ports. */
+    bool portFaulty(NodeId node, PortId out_port) const;
+
     /** @name Channel utilisation (measurement window). */
     /// @{
     /** Flits transmitted on (node, out_port) during the window. */
@@ -202,6 +224,13 @@ class Network
      * source after @p reinject_delay cycles.
      */
     void killAndRequeue(MsgId msg, Cycle reinject_delay);
+
+    /**
+     * Give up on @p msg: remove its flits and release its VCs like
+     * killAndRequeue, but do not re-queue it — the message ends in
+     * MsgStatus::Abandoned and is counted in stats().abandoned.
+     */
+    void killAndAbandon(MsgId msg);
     /// @}
 
     /**
@@ -226,6 +255,23 @@ class Network
                       VcId in_vc);
     void detectorCycleEnd();
     void oracleTick();
+
+    /** @name Fault handling. */
+    /// @{
+    /** Advance the fault model and react to state changes. */
+    void faultTick();
+    /** Find worms stranded by a fault-state change: un-route heads
+     *  that had not crossed the dead link yet, queue kills for worms
+     *  straddling it or sitting in a dead router. */
+    void scanForStrandedWorms();
+    /** Kill (re-queue or abandon) everything queued by the scan or by
+     *  the routing phase. */
+    void processFaultKills();
+    /// @}
+
+    /** Release every VC, buffer and credit @p m's worm holds
+     *  (shared by killAndRequeue and killAndAbandon). */
+    void releaseWorm(Message &m);
 
     /** Enqueue @p flit into (router, port, vc), maintaining the
      *  message/link bookkeeping on head flits. */
@@ -264,6 +310,10 @@ class Network
     Cycle now_ = 0;
     bool measuring_ = false;
     Tracer *tracer_ = nullptr;
+    FaultModel *faults_ = nullptr;
+
+    /** Messages queued for a fault kill this cycle. */
+    std::vector<MsgId> faultKillQueue_;
 
     std::vector<Router> routers_;
     MessageStore messages_;

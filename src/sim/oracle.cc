@@ -49,7 +49,11 @@ findDeadlockedMessages(const Network &net)
                 entry.msg = vc.msg;
                 const Message &m = net.messages().get(vc.msg);
                 net.routing().route(node, m.dst, p, v, cands);
+                bool any_live = false;
                 for (const auto &cand : cands) {
+                    if (net.portFaulty(node, cand.port))
+                        continue; // dead link: never a way forward
+                    any_live = true;
                     std::uint32_t mask = cand.vcMask;
                     while (mask) {
                         const VcId v2 = static_cast<VcId>(
@@ -82,6 +86,14 @@ findDeadlockedMessages(const Network &net)
                         else
                             entry.holders.push_back(dvc.msg);
                     }
+                }
+                if (!any_live) {
+                    // Every candidate channel is faulted. The message
+                    // is doomed, not deadlocked: the fault path will
+                    // kill it this cycle, which frees its held
+                    // channels — so for the fixpoint it behaves like
+                    // a message that can advance.
+                    entry.anyFree = true;
                 }
                 index.emplace(entry.msg, blocked.size());
                 blocked.push_back(std::move(entry));

@@ -29,6 +29,12 @@ traceEventName(TraceEvent event)
         return "delivered";
       case TraceEvent::DeliveredRecovered:
         return "delivered-recovered";
+      case TraceEvent::FaultKilled:
+        return "fault-killed";
+      case TraceEvent::Rerouted:
+        return "rerouted";
+      case TraceEvent::Abandoned:
+        return "ABANDONED";
     }
     return "?";
 }

@@ -36,6 +36,9 @@ enum class TraceEvent : std::uint8_t
     Reinjected,         ///< re-queued at the source after a kill
     Delivered,          ///< consumed at the destination
     DeliveredRecovered, ///< delivered through the recovery path
+    FaultKilled,        ///< worm stranded by a link/router fault
+    Rerouted,           ///< head backed off a freshly faulted port
+    Abandoned,          ///< dropped after exhausting its retries
 };
 
 /** Human-readable name of a trace event. */

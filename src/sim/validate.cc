@@ -70,6 +70,13 @@ validateNetworkInvariants(const Network &net)
                     wn_assert(out.msg == vc.msg);
                     wn_assert(out.srcPort == p &&
                               out.srcVc == v);
+                    // Fault hygiene: a routing decision pointing at
+                    // a dead link should have been backed out (head
+                    // not crossed) or killed (worm straddling it)
+                    // the moment the fault struck.
+                    wn_assert(!net.portFaulty(node, vc.outPort),
+                              " routed VC points at faulted port at ",
+                              node, ":", p, ":", unsigned(v));
                 }
             }
         }
@@ -103,6 +110,9 @@ validateNetworkInvariants(const Network &net)
                 }
                 if (!out.allocated)
                     continue;
+                wn_assert(!net.portFaulty(node, q),
+                          " allocation survives on faulted link at ",
+                          node, ":", q, ":", unsigned(v));
                 const InputVc &src =
                     rt.inputVc(out.srcPort, out.srcVc);
                 wn_assert(src.routed && src.outPort == q &&
@@ -121,6 +131,7 @@ validateNetworkInvariants(const Network &net)
           case MsgStatus::Queued:
           case MsgStatus::Killed:
           case MsgStatus::Delivered:
+          case MsgStatus::Abandoned:
             wn_assert(m.numLinks() == 0, " message ", id,
                       " holds links in status ",
                       unsigned(m.status));

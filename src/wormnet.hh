@@ -21,6 +21,7 @@
 #include "detection/pdm.hh"
 #include "detection/source_timeout.hh"
 #include "detection/timeout.hh"
+#include "fault/fault.hh"
 #include "recovery/disha.hh"
 #include "recovery/progressive.hh"
 #include "recovery/recovery.hh"

@@ -333,6 +333,41 @@ TEST(Recovery, SourceAgeTimeoutRepeatedlyAbortsBlockedMessage)
     EXPECT_EQ(run_with("src-age-timeout:512"), 0u);
 }
 
+TEST(Recovery, RetryBudgetExhaustionAbandonsMessage)
+{
+    // Same churn scenario as above, but with a 2-retry budget: after
+    // the second re-injection the next abort gives up instead of
+    // re-queueing, and the victim ends Abandoned while the blocker
+    // still delivers normally.
+    SimulationConfig cfg;
+    cfg.topology = "torus";
+    cfg.radix = 8;
+    cfg.dims = 1;
+    cfg.vcs = 1;
+    cfg.injPorts = 1;
+    cfg.ejePorts = 1;
+    cfg.flitRate = 0.0;
+    cfg.detector = "src-age-timeout:32";
+    cfg.recovery = "regressive:8:2";
+    cfg.injectionLimit = false;
+    cfg.oraclePeriod = 0;
+    cfg.selection = "firstfit";
+    Simulation sim(cfg);
+    const MsgId blocker = sim.net().injectMessage(1, 4, 600);
+    sim.net().run(10);
+    const MsgId victim = sim.net().injectMessage(0, 2, 16);
+    sim.net().run(4000);
+    const SimStats &s = sim.net().stats();
+    EXPECT_EQ(sim.net().messages().get(blocker).status,
+              MsgStatus::Delivered);
+    const Message &v = sim.net().messages().get(victim);
+    EXPECT_EQ(v.status, MsgStatus::Abandoned);
+    EXPECT_EQ(v.retries, 2u);
+    EXPECT_EQ(s.abandoned, 1u);
+    EXPECT_EQ(s.injected, s.delivered + s.kills + s.abandoned);
+    EXPECT_EQ(sim.net().inFlight(), 0u);
+}
+
 TEST(RecoveryFactory, ParsesSpecs)
 {
     EXPECT_NE(makeRecoveryManager("progressive")->name().find(
@@ -389,9 +424,10 @@ TEST(Recovery, RegressiveUnderBackgroundTraffic)
     sim.net().setFlitRate(0.0);
     sim.net().run(5000);
     const SimStats &s = sim.net().stats();
-    // Every kill causes exactly one re-injection, so after a full
-    // drain: injections == deliveries + kills.
-    EXPECT_EQ(s.injected, s.delivered + s.kills);
+    // Every kill causes exactly one re-injection (unless the retry
+    // budget ran out), so after a full drain:
+    // injections == deliveries + kills + abandonments.
+    EXPECT_EQ(s.injected, s.delivered + s.kills + s.abandoned);
     EXPECT_EQ(sim.net().inFlight(), 0u);
     EXPECT_EQ(sim.net().totalQueued(), 0u);
     EXPECT_GT(s.delivered, 400u);
