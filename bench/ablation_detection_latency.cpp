@@ -18,8 +18,10 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "core/simulation.hh"
 
@@ -30,6 +32,7 @@ main(int argc, char **argv)
     const Config cli = Config::parseArgs(argc - 1, argv + 1);
     const Cycle warmup = cli.getUint("warmup", 1000);
     const Cycle measure = cli.getUint("measure", 12000);
+    const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
 
     TextTable table(6);
     table.addRow({"t2", "true deadlocked", "detections",
@@ -37,7 +40,13 @@ main(int argc, char **argv)
                   "max persistence"});
     table.addSeparator();
 
-    for (const Cycle t2 : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    // The t2 sweep points are independent simulations: fan them out
+    // and append the rows in sweep order so stdout is identical for
+    // every job count.
+    const std::vector<Cycle> sweep = {4, 8, 16, 32, 64, 128, 256};
+    std::vector<std::vector<std::string>> rows(sweep.size());
+    parallelFor(sweep.size(), jobs, [&](std::size_t i) {
+        const Cycle t2 = sweep[i];
         SimulationConfig cfg;
         cfg.radix = 8;
         cfg.dims = 2;
@@ -68,13 +77,15 @@ main(int argc, char **argv)
                     ? double(s.wFalseDetections) / s.wDelivered
                     : 0.0)
                 .c_str());
-        table.addRow({std::to_string(t2),
-                      std::to_string(s.trueDeadlockedMessages),
-                      std::to_string(s.wDetectionEvents), fd, lat,
-                      pers});
+        rows[i] = {std::to_string(t2),
+                   std::to_string(s.trueDeadlockedMessages),
+                   std::to_string(s.wDetectionEvents), fd, lat,
+                   pers};
         std::fputc('.', stderr);
         std::fflush(stderr);
-    }
+    });
+    for (auto &row : rows)
+        table.addRow(std::move(row));
     std::fputc('\n', stderr);
     std::printf("t2 trade-off on a deadlock-prone substrate "
                 "(8x8 torus, 1 VC, no limiter, uniform 's', "

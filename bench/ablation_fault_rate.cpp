@@ -15,6 +15,9 @@
  *   --load r            offered load in flits/cycle/node (default 0.2)
  *   --warmup/--measure/--drain N
  *   --quick             small cycle counts (CI smoke run)
+ *   --jobs N            worker threads (0 = WORMNET_JOBS env, else
+ *                       hardware concurrency); the JSON on stdout is
+ *                       identical for every value
  */
 
 #include <cstdio>
@@ -23,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "core/simulation.hh"
 
 int
@@ -36,6 +40,7 @@ main(int argc, char **argv)
     Cycle repair = 200;
     double load = 0.2;
     std::uint64_t seed = 1;
+    unsigned jobs = 0;
     std::vector<double> rates = {0.0, 1e-6, 1e-5, 1e-4};
 
     for (int i = 1; i < argc; ++i) {
@@ -70,14 +75,21 @@ main(int argc, char **argv)
             drain = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--seed") {
             seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return 1;
         }
     }
 
-    std::printf("[\n");
-    for (std::size_t i = 0; i < rates.size(); ++i) {
+    // The rate sweep points are independent simulations: run them
+    // concurrently into per-rate slots and emit the JSON array in
+    // sweep order afterwards, so stdout is identical for every job
+    // count.
+    std::vector<std::string> entries(rates.size());
+    parallelFor(rates.size(), jobs, [&](std::size_t i) {
         const double rate = rates[i];
 
         SimulationConfig cfg;
@@ -125,7 +137,9 @@ main(int argc, char **argv)
                               : double(s.wFalseDetections) /
                                     double(s.wDelivered);
 
-        std::printf(
+        char entry[1024];
+        std::snprintf(
+            entry, sizeof(entry),
             "  {\"fault_rate\": %g, \"repair_delay\": %llu,\n"
             "   \"generated\": %llu, \"delivered\": %llu, "
             "\"abandoned\": %llu,\n"
@@ -148,8 +162,12 @@ main(int argc, char **argv)
             (unsigned long long)s.wFalseDetections, fpRate,
             (unsigned long long)s.detections, net.inFlight(),
             net.totalQueued(), i + 1 < rates.size() ? "," : "");
-        std::fflush(stdout);
-    }
+        entries[i] = entry;
+    });
+
+    std::printf("[\n");
+    for (const std::string &entry : entries)
+        std::fputs(entry.c_str(), stdout);
     std::printf("]\n");
     return 0;
 }

@@ -25,10 +25,12 @@ main(int argc, char **argv)
     using namespace wormnet;
     const auto opts = bench::parseBenchArgs(argc, argv, "uniform",
                                             /*default_sat=*/0.74);
-    const ExperimentRunner runner([](const std::string &) {
-        std::fputc('.', stderr);
-        std::fflush(stderr);
-    });
+    const ExperimentRunner runner(
+        [](const std::string &) {
+            std::fputc('.', stderr);
+            std::fflush(stderr);
+        },
+        opts.jobs);
 
     const std::vector<Cycle> thresholds = {4, 8, 16, 32, 64};
     const std::vector<std::pair<std::string, std::string>> variants =

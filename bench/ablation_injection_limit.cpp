@@ -23,10 +23,12 @@ main(int argc, char **argv)
     using namespace wormnet;
     const auto opts = bench::parseBenchArgs(argc, argv, "uniform",
                                             /*default_sat=*/0.74);
-    const ExperimentRunner runner([](const std::string &) {
-        std::fputc('.', stderr);
-        std::fflush(stderr);
-    });
+    const ExperimentRunner runner(
+        [](const std::string &) {
+            std::fputc('.', stderr);
+            std::fflush(stderr);
+        },
+        opts.jobs);
 
     struct Variant
     {

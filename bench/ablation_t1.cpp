@@ -20,10 +20,12 @@ main(int argc, char **argv)
     using namespace wormnet;
     const auto opts = bench::parseBenchArgs(argc, argv, "uniform",
                                             /*default_sat=*/0.74);
-    const ExperimentRunner runner([](const std::string &) {
-        std::fputc('.', stderr);
-        std::fflush(stderr);
-    });
+    const ExperimentRunner runner(
+        [](const std::string &) {
+            std::fputc('.', stderr);
+            std::fflush(stderr);
+        },
+        opts.jobs);
 
     const std::vector<Cycle> t1s = {1, 2, 4, 8, 16};
     const std::vector<Cycle> t2s = {32, 64};

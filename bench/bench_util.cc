@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 
 namespace wormnet
@@ -52,6 +53,7 @@ parseBenchArgs(int argc, char **argv, const std::string &pattern,
         static_cast<unsigned>(cli.getUint("seeds", 1));
     if (opts.replications < 1)
         fatal("--seeds must be >= 1");
+    opts.jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
 
     opts.satRate = cli.getDouble("sat", default_sat);
     // The baked-in saturation defaults were calibrated on the
@@ -65,7 +67,7 @@ parseBenchArgs(int argc, char **argv, const std::string &pattern,
         SimulationConfig probe = opts.base;
         probe.detector = "ndm:32";
         probe.lengths = "s";
-        const ExperimentRunner runner;
+        const ExperimentRunner runner({}, opts.jobs);
         opts.satRate = runner.findSaturationRate(
             probe, 0.02, opts.base.injPorts * 1.0);
         std::fprintf(stderr, "saturation ~= %.4f flits/cycle/node\n",
@@ -107,10 +109,24 @@ runTableBench(const std::string &title, const BenchOptions &opts,
             std::fflush(stderr);
         };
     }
-    const ExperimentRunner runner(progress);
+    const ExperimentRunner runner(progress, opts.jobs);
     const TableResult result = runner.runTable(spec);
     if (!opts.quiet)
         std::fputc('\n', stderr);
+
+    // Timing goes to stderr so stdout (table/CSV) stays
+    // bitwise-identical across job counts.
+    if (!opts.quiet) {
+        const unsigned jobs =
+            opts.jobs != 0 ? opts.jobs : defaultJobs();
+        std::fprintf(stderr,
+                     "jobs: %u  wall: %.2fs  sim time: %.2fs  "
+                     "speedup: %.2fx\n",
+                     jobs, result.wallSeconds, result.busySeconds,
+                     result.wallSeconds > 0.0
+                         ? result.busySeconds / result.wallSeconds
+                         : 0.0);
+    }
 
     // Render: measured value, then the paper's value in parentheses
     // when the paper reports this (threshold, rate, size) point.

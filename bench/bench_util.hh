@@ -22,6 +22,11 @@
  *   --calibrate        re-measure the saturation rate first
  *   --warmup/--measure cycles
  *   --seeds <n>        average n independent seeds per cell
+ *   --jobs <n>         worker threads for independent simulations
+ *                      (default: WORMNET_JOBS env, else hardware
+ *                      concurrency; 1 = serial). The table printed on
+ *                      stdout is bitwise-identical for every value;
+ *                      jobs and the measured speedup go to stderr.
  *   --csv              also dump the table as CSV
  */
 
@@ -61,6 +66,9 @@ struct BenchOptions
     Cycle measure = 15000;
     /** Seeds averaged per cell (--seeds N). */
     unsigned replications = 1;
+    /** Worker threads (--jobs N; 0 = WORMNET_JOBS env, else hardware
+     *  concurrency). */
+    unsigned jobs = 0;
     bool csv = false;
     bool quiet = false;
 };

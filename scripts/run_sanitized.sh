@@ -1,20 +1,56 @@
 #!/usr/bin/env bash
-# Build and run the full test suite under ASan + UBSan.
+# Build and run the test suite under sanitizers.
 #
-# Uses a separate build tree (build-asan) so the normal build stays
-# untouched. Any sanitizer report fails the run: ASan aborts on
-# errors by default, and halt_on_error makes UBSan do the same.
+#   scripts/run_sanitized.sh            # ASan+UBSan, full suite
+#   scripts/run_sanitized.sh asan       # same
+#   scripts/run_sanitized.sh tsan       # TSan, parallel-engine tests
+#   scripts/run_sanitized.sh all        # both, in sequence
+#
+# Each sanitizer uses its own build tree (build-asan / build-tsan) so
+# the normal build stays untouched. Any sanitizer report fails the
+# run: ASan and TSan abort on errors by default, and halt_on_error
+# makes UBSan do the same.
+#
+# The TSan pass runs the tests that exercise the work-stealing pool
+# and the parallel experiment harness (test_parallel,
+# test_experiment): that is where threads share state. TSAN_CTEST_RE
+# overrides the selection; the full suite under TSan works too, it is
+# just slow.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build-asan}
+MODE=${1:-asan}
 
-cmake -B "$BUILD_DIR" -S . -DWORMNET_SANITIZE=ON \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+run_asan() {
+    local build_dir=${BUILD_DIR:-build-asan}
+    cmake -B "$build_dir" -S . -DWORMNET_SANITIZE=address \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$build_dir" -j "$(nproc)"
 
-export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-export ASAN_OPTIONS="detect_leaks=1"
+    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    ASAN_OPTIONS="detect_leaks=1" \
+    ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+run_tsan() {
+    local build_dir=${TSAN_BUILD_DIR:-build-tsan}
+    cmake -B "$build_dir" -S . -DWORMNET_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$build_dir" -j "$(nproc)"
+
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir "$build_dir" --output-on-failure \
+        -R "${TSAN_CTEST_RE:-ThreadPool|ParallelFor|ParallelDeterminism|Experiment}" \
+        -j "$(nproc)"
+}
+
+case "$MODE" in
+    asan) run_asan ;;
+    tsan) run_tsan ;;
+    all) run_asan; run_tsan ;;
+    *)
+        echo "usage: $0 [asan|tsan|all]" >&2
+        exit 2
+        ;;
+esac

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Regenerate the golden-table snapshots under tests/golden/.
+#
+# Each snapshot's first line ("# args: ...") records the exact bench
+# arguments; test_golden_tables replays the binary with those
+# arguments and compares stdout byte-for-byte. This script reuses the
+# recorded args when a snapshot already exists (so the profile lives
+# in exactly one place) and falls back to DEFAULT_ARGS for new ones.
+#
+# The profile keeps the --quick threshold grid but shrinks the
+# network and cycle counts so the three snapshots replay in seconds,
+# and pins --sat to skip saturation calibration. WORMNET_JOBS may be
+# anything: the sweep engine guarantees stdout is bitwise-identical
+# for every job count.
+#
+# Usage: scripts/update_golden.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+GOLDEN_DIR=tests/golden
+DEFAULT_ARGS=" --quick --quiet --radix 4 --dims 2 --sat 0.6 --warmup 400 --measure 1500"
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+    table1_pdm_uniform table2_ndm_uniform table7_ndm_hotspot
+
+mkdir -p "$GOLDEN_DIR"
+for table in table1_pdm_uniform:table1_quick.txt \
+             table2_ndm_uniform:table2_quick.txt \
+             table7_ndm_hotspot:table7_quick.txt; do
+    binary=${table%%:*}
+    golden=$GOLDEN_DIR/${table##*:}
+    args=$DEFAULT_ARGS
+    if [[ -f $golden ]]; then
+        args=$(head -n 1 "$golden" | sed 's/^# args://')
+    fi
+    echo "generating $golden ($binary$args)" >&2
+    {
+        echo "# args:$args"
+        # shellcheck disable=SC2086 -- args are intentionally split
+        "$BUILD_DIR/bench/$binary" $args 2>/dev/null
+    } > "$golden"
+done
+
+echo "done; review the diff before committing:" >&2
+git -C . diff --stat -- "$GOLDEN_DIR" >&2

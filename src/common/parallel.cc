@@ -1,0 +1,207 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+namespace
+{
+
+/** Identifies the pool (and worker slot) the current thread runs in,
+ *  so submit() can route nested submissions to the worker's own
+ *  deque instead of blocking on the bounded external queue. */
+thread_local ThreadPool *tlsPool = nullptr;
+thread_local std::size_t tlsWorker = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
+    : queueCapacity_(queue_capacity)
+{
+    wn_assert(threads >= 1);
+    wn_assert(queue_capacity >= 1);
+    local_.resize(threads);
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cvWork_.notify_all();
+    cvSpace_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    wn_assert(task != nullptr);
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (tlsPool == this) {
+        // Nested submission from one of our own workers: the worker's
+        // private deque is unbounded, so spawning subtasks can never
+        // deadlock against the queue bound.
+        local_[tlsWorker].push_back(std::move(task));
+    } else {
+        cvSpace_.wait(lock, [this] {
+            return queue_.size() < queueCapacity_ || stopping_;
+        });
+        if (stopping_)
+            panic("ThreadPool::submit during shutdown");
+        queue_.push_back(std::move(task));
+    }
+    ++unfinished_;
+    lock.unlock();
+    cvWork_.notify_one();
+}
+
+bool
+ThreadPool::takeTask(std::size_t index, Task &out)
+{
+    // Own deque first (LIFO keeps nested work hot), then the shared
+    // queue, then steal the oldest task from another worker.
+    if (!local_[index].empty()) {
+        out = std::move(local_[index].back());
+        local_[index].pop_back();
+        return true;
+    }
+    if (!queue_.empty()) {
+        out = std::move(queue_.front());
+        queue_.pop_front();
+        cvSpace_.notify_one();
+        return true;
+    }
+    for (std::size_t k = 1; k < local_.size(); ++k) {
+        auto &victim = local_[(index + k) % local_.size()];
+        if (!victim.empty()) {
+            out = std::move(victim.front());
+            victim.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    tlsPool = this;
+    tlsWorker = index;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        Task task;
+        if (takeTask(index, task)) {
+            lock.unlock();
+            try {
+                task();
+            } catch (...) {
+                lock.lock();
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+                lock.unlock();
+            }
+            task = nullptr; // destroy captures outside the lock
+            lock.lock();
+            if (--unfinished_ == 0)
+                cvIdle_.notify_all();
+            continue;
+        }
+        // Drain everything before honouring shutdown so no submitted
+        // task is ever dropped.
+        if (stopping_)
+            return;
+        cvWork_.wait(lock);
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cvIdle_.wait(lock, [this] { return unfinished_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("WORMNET_JOBS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return static_cast<unsigned>(parsed);
+        warn("ignoring WORMNET_JOBS='", env,
+             "' (want a positive integer)");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (n < jobs)
+        jobs = static_cast<unsigned>(n);
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errMutex;
+    std::size_t errIndex = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+
+    ThreadPool pool(jobs);
+    for (unsigned j = 0; j < jobs; ++j) {
+        pool.submit([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                {
+                    // Best-effort cancellation: indices above a
+                    // failed one would not have run serially.
+                    std::lock_guard<std::mutex> lock(errMutex);
+                    if (error && i > errIndex)
+                        continue;
+                }
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errMutex);
+                    if (!error || i < errIndex) {
+                        errIndex = i;
+                        error = std::current_exception();
+                    }
+                }
+            }
+        });
+    }
+    pool.wait();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace wormnet

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Work-stealing thread pool and a deterministic parallel_for layer.
+ *
+ * The experiment harness runs hundreds of independent simulations
+ * (table cells x seed replications, saturation probes); this module
+ * fans them across threads without sacrificing reproducibility. The
+ * contract that makes that possible: parallelFor() bodies are
+ * independent and each writes only to its own pre-sized output slot,
+ * so results are identical to a serial loop regardless of job count
+ * or scheduling order. Reductions over those slots then happen
+ * sequentially in index order, which keeps floating-point
+ * accumulation bitwise-identical to the serial code path.
+ *
+ * Job-count resolution (defaultJobs()): the WORMNET_JOBS environment
+ * variable when set to a positive integer, otherwise the hardware
+ * concurrency. Benches additionally accept --jobs, which overrides
+ * both. jobs=1 always executes on the caller thread with no pool.
+ */
+
+#ifndef WORMNET_COMMON_PARALLEL_HH
+#define WORMNET_COMMON_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wormnet
+{
+
+/**
+ * Fixed-size thread pool with a bounded external queue and per-worker
+ * deques for nested submissions.
+ *
+ * - submit() from outside the pool blocks while the shared queue is
+ *   at capacity (backpressure instead of unbounded memory).
+ * - submit() from inside a task goes to the submitting worker's own
+ *   deque (never blocks), so tasks may spawn subtasks freely without
+ *   deadlocking against the queue bound.
+ * - Idle workers steal from the back of other workers' deques.
+ * - wait() blocks until every submitted task has finished and
+ *   rethrows the first exception a task raised, if any.
+ * - The destructor drains all pending tasks before joining; no
+ *   submitted task is ever dropped (exceptions raised while draining
+ *   are swallowed, since a destructor cannot rethrow).
+ */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * @param threads worker-thread count (>= 1)
+     * @param queue_capacity bound on externally submitted tasks
+     *        awaiting execution
+     */
+    explicit ThreadPool(unsigned threads,
+                        std::size_t queue_capacity = 1024);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task; see the class comment for blocking rules. */
+    void submit(Task task);
+
+    /**
+     * Block until all tasks submitted so far (including nested ones)
+     * have finished. Rethrows the first task exception, clearing it.
+     */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop(std::size_t index);
+    bool takeTask(std::size_t index, Task &out);
+
+    mutable std::mutex mutex_;
+    std::condition_variable cvWork_;  ///< workers: a task is available
+    std::condition_variable cvSpace_; ///< submitters: queue has room
+    std::condition_variable cvIdle_;  ///< wait(): everything finished
+
+    std::deque<Task> queue_; ///< external submissions (FIFO)
+    /** Per-worker deques: own tasks pop LIFO, thieves steal FIFO. */
+    std::vector<std::deque<Task>> local_;
+    std::vector<std::thread> workers_;
+
+    std::size_t queueCapacity_;
+    std::size_t unfinished_ = 0; ///< submitted but not yet completed
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Resolve the job count used when a caller passes jobs=0: the
+ * WORMNET_JOBS environment variable if set to a positive integer,
+ * otherwise std::thread::hardware_concurrency() (minimum 1).
+ */
+unsigned defaultJobs();
+
+/**
+ * Run body(0) .. body(n-1) across @p jobs threads.
+ *
+ * Scheduling is dynamic (an atomic index counter), so iteration order
+ * is unspecified; the body must write only to per-index state.
+ * jobs=0 resolves via defaultJobs(); an effective job count of 1 (or
+ * n <= 1) runs the plain loop on the caller thread with no threads
+ * created.
+ *
+ * Exceptions: the exception thrown by the *lowest failing index* is
+ * rethrown once all in-flight iterations finish — the same exception
+ * a serial run would surface, keeping error behaviour independent of
+ * the job count. Indices above a failed one are skipped best-effort.
+ */
+void parallelFor(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace wormnet
+
+#endif // WORMNET_COMMON_PARALLEL_HH

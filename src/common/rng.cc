@@ -97,4 +97,16 @@ Rng::split()
     return Rng(splitMix64(derive));
 }
 
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream,
+           std::uint64_t index)
+{
+    // Absorb each input with a full SplitMix64 step so that a
+    // difference in any single one avalanches through the result.
+    std::uint64_t state = base;
+    state = splitMix64(state) ^ stream;
+    state = splitMix64(state) ^ index;
+    return splitMix64(state);
+}
+
 } // namespace wormnet

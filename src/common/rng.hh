@@ -69,6 +69,19 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Derive an independent 64-bit seed from (base seed, stream, index)
+ * by chaining the SplitMix64 finalizer over all three inputs.
+ *
+ * The experiment harness seeds every (table cell, seed replication)
+ * simulation with deriveSeed(base, cell, replication): unlike the
+ * naive base + replication, nearby base seeds and adjacent cells can
+ * never hand overlapping seed sequences to different simulations, so
+ * replications stay statistically independent across the whole grid.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream,
+                         std::uint64_t index);
+
 } // namespace wormnet
 
 #endif // WORMNET_COMMON_RNG_HH

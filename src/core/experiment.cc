@@ -1,8 +1,12 @@
 #include "core/experiment.hh"
 
+#include <atomic>
+#include <chrono>
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
 
 namespace wormnet
 {
@@ -22,11 +26,29 @@ instantiateDetector(const std::string &tmpl, Cycle threshold)
     return os.str();
 }
 
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
 } // namespace
 
-ExperimentRunner::ExperimentRunner(Progress progress)
-    : progress_(std::move(progress))
+ExperimentRunner::ExperimentRunner(Progress progress, unsigned jobs)
+    : progress_(std::move(progress)), jobs_(jobs)
 {
+}
+
+void
+ExperimentRunner::reportProgress(const std::string &message) const
+{
+    if (!progress_)
+        return;
+    std::lock_guard<std::mutex> lock(progressMutex_);
+    progress_(message);
 }
 
 CellResult
@@ -48,20 +70,13 @@ ExperimentRunner::runCell(const SimulationConfig &config, Cycle warmup,
 }
 
 CellResult
-ExperimentRunner::runCellReplicated(const SimulationConfig &config,
-                                    Cycle warmup, Cycle measure,
-                                    unsigned replications) const
+ExperimentRunner::reduceReplications(
+    const std::vector<CellResult> &slots)
 {
-    wn_assert(replications >= 1);
-    if (replications == 1)
-        return runCell(config, warmup, measure);
-
+    wn_assert(!slots.empty());
     RunningStat det;
     CellResult out;
-    for (unsigned i = 0; i < replications; ++i) {
-        SimulationConfig cfg = config;
-        cfg.seed = config.seed + i;
-        const CellResult cell = runCell(cfg, warmup, measure);
+    for (const CellResult &cell : slots) {
         det.add(cell.detectionRate);
         out.sawTrueDeadlock |= cell.sawTrueDeadlock;
         out.delivered += cell.delivered;
@@ -70,45 +85,105 @@ ExperimentRunner::runCellReplicated(const SimulationConfig &config,
         out.generatedFlitRate += cell.generatedFlitRate;
         out.avgLatency += cell.avgLatency;
     }
+    const auto n = static_cast<unsigned>(slots.size());
     out.detectionRate = det.mean();
     out.detectionRateStd = det.stddev();
-    out.replications = replications;
-    out.acceptedFlitRate /= replications;
-    out.generatedFlitRate /= replications;
-    out.avgLatency /= replications;
+    out.replications = n;
+    out.acceptedFlitRate /= n;
+    out.generatedFlitRate /= n;
+    out.avgLatency /= n;
     return out;
+}
+
+CellResult
+ExperimentRunner::runCellReplicated(const SimulationConfig &config,
+                                    Cycle warmup, Cycle measure,
+                                    unsigned replications,
+                                    std::uint64_t cell_index) const
+{
+    wn_assert(replications >= 1);
+    std::vector<CellResult> slots(replications);
+    parallelFor(replications, jobs_, [&](std::size_t p) {
+        SimulationConfig cfg = config;
+        cfg.seed = deriveSeed(config.seed, cell_index, p);
+        slots[p] = runCell(cfg, warmup, measure);
+    });
+    return reduceReplications(slots);
 }
 
 TableResult
 ExperimentRunner::runTable(const TableSpec &spec) const
 {
     wn_assert(spec.rates.size() == spec.rateLabels.size());
+    wn_assert(spec.replications >= 1);
+    const std::size_t nRates = spec.rates.size();
+    const std::size_t nSizes = spec.sizeClasses.size();
+    const std::size_t nThs = spec.thresholds.size();
+    const std::size_t reps = spec.replications;
+    const std::size_t nCells = nRates * nSizes * nThs;
+
     TableResult result;
     result.spec = spec;
-    result.cells.resize(spec.rates.size());
+    result.cells.resize(nRates);
+    for (auto &per_rate : result.cells)
+        per_rate.resize(nSizes);
 
-    for (std::size_t r = 0; r < spec.rates.size(); ++r) {
-        result.cells[r].resize(spec.sizeClasses.size());
-        for (std::size_t s = 0; s < spec.sizeClasses.size(); ++s) {
-            for (const Cycle th : spec.thresholds) {
-                SimulationConfig cfg = spec.base;
-                cfg.flitRate = spec.rates[r];
-                cfg.lengths = spec.sizeClasses[s];
-                cfg.detector =
-                    instantiateDetector(spec.detectorTemplate, th);
-                if (progress_) {
-                    std::ostringstream os;
-                    os << spec.title << " rate=" << spec.rates[r]
-                       << " size=" << spec.sizeClasses[s]
-                       << " th=" << th;
-                    progress_(os.str());
-                }
-                result.cells[r][s].push_back(runCellReplicated(
-                    cfg, spec.warmup, spec.measure,
-                    spec.replications));
+    // Fan every independent simulation — cell x replication — across
+    // the pool at once; each writes its own slot, and the per-cell
+    // reduction below walks the slots in serial order, so the table
+    // is bitwise-identical for every job count.
+    const auto start = Clock::now();
+    std::vector<CellResult> raw(nCells * reps);
+    std::atomic<std::uint64_t> busyNanos{0};
+    parallelFor(nCells * reps, jobs_, [&](std::size_t w) {
+        const std::size_t c = w / reps;
+        const std::size_t p = w % reps;
+        const std::size_t t = c % nThs;
+        const std::size_t s = (c / nThs) % nSizes;
+        const std::size_t r = c / (nThs * nSizes);
+
+        if (p == 0 && progress_) {
+            std::ostringstream os;
+            os << spec.title << " rate=" << spec.rates[r]
+               << " size=" << spec.sizeClasses[s]
+               << " th=" << spec.thresholds[t];
+            reportProgress(os.str());
+        }
+
+        SimulationConfig cfg = spec.base;
+        cfg.flitRate = spec.rates[r];
+        cfg.lengths = spec.sizeClasses[s];
+        cfg.detector =
+            instantiateDetector(spec.detectorTemplate,
+                                spec.thresholds[t]);
+        cfg.seed = deriveSeed(spec.base.seed, c, p);
+
+        const auto cellStart = Clock::now();
+        raw[w] = runCell(cfg, spec.warmup, spec.measure);
+        busyNanos.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - cellStart)
+                    .count()),
+            std::memory_order_relaxed);
+    });
+
+    for (std::size_t r = 0; r < nRates; ++r) {
+        for (std::size_t s = 0; s < nSizes; ++s) {
+            result.cells[r][s].reserve(nThs);
+            for (std::size_t t = 0; t < nThs; ++t) {
+                const std::size_t c = (r * nSizes + s) * nThs + t;
+                const std::vector<CellResult> slots(
+                    raw.begin() + static_cast<std::ptrdiff_t>(c * reps),
+                    raw.begin() +
+                        static_cast<std::ptrdiff_t>((c + 1) * reps));
+                result.cells[r][s].push_back(
+                    reduceReplications(slots));
             }
         }
     }
+    result.wallSeconds = secondsSince(start);
+    result.busySeconds = static_cast<double>(busyNanos.load()) * 1e-9;
     return result;
 }
 
@@ -195,18 +270,45 @@ ExperimentRunner::findSaturationRate(const SimulationConfig &base,
                (1.0 - slack) * cell.generatedFlitRate;
     };
 
-    // Ensure the bracket actually straddles saturation.
-    if (saturatedAt(lo))
+    // Ensure the bracket actually straddles saturation; the two
+    // endpoint probes are independent, so run them concurrently.
+    bool endpoints[2];
+    {
+        const double rates[2] = {lo, hi};
+        parallelFor(2, jobs_, [&](std::size_t i) {
+            endpoints[i] = saturatedAt(rates[i]);
+        });
+    }
+    if (endpoints[0])
         return lo;
-    if (!saturatedAt(hi))
+    if (!endpoints[1])
         return hi;
 
+    // Deterministic multisection: every round evaluates the same
+    // kSaturationProbes evenly spaced interior rates (concurrently
+    // when jobs allow) and narrows to the sub-interval that straddles
+    // the knee — a (kSaturationProbes + 1)-fold reduction per round
+    // whose result does not depend on the job count.
+    constexpr unsigned kProbes = kSaturationProbes;
     for (unsigned i = 0; i < iterations; ++i) {
-        const double mid = 0.5 * (lo + hi);
-        if (saturatedAt(mid))
-            hi = mid;
-        else
-            lo = mid;
+        double probes[kProbes];
+        bool saturated[kProbes];
+        const double step = (hi - lo) / (kProbes + 1);
+        for (unsigned k = 0; k < kProbes; ++k)
+            probes[k] = lo + step * (k + 1);
+        parallelFor(kProbes, jobs_, [&](std::size_t k) {
+            saturated[k] = saturatedAt(probes[k]);
+        });
+        double new_lo = lo, new_hi = hi;
+        for (unsigned k = 0; k < kProbes; ++k) {
+            if (saturated[k]) {
+                new_hi = probes[k];
+                break;
+            }
+            new_lo = probes[k];
+        }
+        lo = new_lo;
+        hi = new_hi;
     }
     return 0.5 * (lo + hi);
 }

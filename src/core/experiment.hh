@@ -10,12 +10,21 @@
  * group sweep the message-size class. Cells where the ground-truth
  * oracle confirmed at least one true deadlock are starred, matching
  * the paper's "(*)" annotation.
+ *
+ * Execution is parallel: every independent simulation (cell x seed
+ * replication, saturation probe) fans out over a thread pool
+ * (common/parallel.hh) controlled by the jobs knob (0 = WORMNET_JOBS
+ * env, else hardware concurrency; 1 = serial on the caller thread).
+ * Results land in pre-sized slots and are reduced sequentially in
+ * serial order, so every output is bitwise-identical regardless of
+ * the job count.
  */
 
 #ifndef WORMNET_CORE_EXPERIMENT_HH
 #define WORMNET_CORE_EXPERIMENT_HH
 
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,7 +73,8 @@ struct TableSpec
     Cycle warmup = 3000;
     Cycle measure = 15000;
 
-    /** Independent seeds averaged per cell (seed, seed+1, ...). */
+    /** Independent seeds averaged per cell; each replication's seed
+     *  is deriveSeed(base.seed, cell index, replication index). */
     unsigned replications = 1;
 };
 
@@ -74,16 +84,39 @@ struct TableResult
     TableSpec spec;
     /** cells[rate][size][threshold]. */
     std::vector<std::vector<std::vector<CellResult>>> cells;
+
+    /** @name Timing (not part of the deterministic payload). */
+    /// @{
+    double wallSeconds = 0.0; ///< elapsed wall clock for the sweep
+    /** Summed single-simulation run time; busySeconds / wallSeconds
+     *  is the effective parallel speedup. */
+    double busySeconds = 0.0;
+    /// @}
 };
 
 /** Runs table specs and saturation searches. */
 class ExperimentRunner
 {
   public:
-    /** Optional per-cell progress callback (e.g. a dot to stderr). */
+    /**
+     * Optional per-cell progress callback (e.g. a dot to stderr).
+     * With jobs > 1 it fires from worker threads, serialized by an
+     * internal mutex, in whatever order cells are picked up.
+     */
     using Progress = std::function<void(const std::string &)>;
 
-    explicit ExperimentRunner(Progress progress = {});
+    /**
+     * @param progress optional per-cell callback
+     * @param jobs worker threads for independent simulations:
+     *        0 = defaultJobs() (WORMNET_JOBS env, else hardware
+     *        concurrency), 1 = serial on the caller thread
+     */
+    explicit ExperimentRunner(Progress progress = {},
+                              unsigned jobs = 0);
+
+    /** Override the job count (same semantics as the constructor). */
+    void setJobs(unsigned jobs) { jobs_ = jobs; }
+    unsigned jobs() const { return jobs_; }
 
     /** Run every cell of @p spec (each cell is one simulation). */
     TableResult runTable(const TableSpec &spec) const;
@@ -100,30 +133,52 @@ class ExperimentRunner
      * Estimate the saturation injection rate for @p base (pattern,
      * lengths and all policies taken from it): the largest rate whose
      * accepted throughput still tracks the offered load within
-     * @p slack (fractional). Bisection over [lo, hi].
+     * @p slack (fractional). Each round probes kSaturationProbes
+     * interior rates of [lo, hi] concurrently and keeps the bracket
+     * that straddles the knee, narrowing (kSaturationProbes + 1)x per
+     * round; the probe grid is fixed, so the result is independent of
+     * the job count.
      */
     double findSaturationRate(const SimulationConfig &base, double lo,
                               double hi, double slack = 0.05,
                               Cycle warmup = 2000,
                               Cycle measure = 6000,
-                              unsigned iterations = 7) const;
+                              unsigned iterations = 4) const;
+
+    /** Interior probes per saturation-search round. */
+    static constexpr unsigned kSaturationProbes = 3;
 
     /** Run a single cell. */
     CellResult runCell(const SimulationConfig &config, Cycle warmup,
                        Cycle measure) const;
 
     /**
-     * Run a cell @p replications times with seeds config.seed,
-     * config.seed+1, ... and average the scalar results (detection
-     * rate carries a sample standard deviation; true-deadlock flags
-     * OR together).
+     * Run a cell @p replications times with seeds
+     * deriveSeed(config.seed, cell_index, 0 .. replications-1) and
+     * average the scalar results (detection rate carries a sample
+     * standard deviation; true-deadlock flags OR together). The
+     * replications fan out over the runner's job count; the reduction
+     * is sequential in replication order, so the result is identical
+     * for every job count.
      */
     CellResult runCellReplicated(const SimulationConfig &config,
                                  Cycle warmup, Cycle measure,
-                                 unsigned replications) const;
+                                 unsigned replications,
+                                 std::uint64_t cell_index = 0) const;
 
   private:
+    /** Serial in-order reduction shared by runTable and
+     *  runCellReplicated; @p slots must be non-empty. */
+    static CellResult reduceReplications(
+        const std::vector<CellResult> &slots);
+
+    /** Fire the progress callback (thread-safe). */
+    void reportProgress(const std::string &message) const;
+
     Progress progress_;
+    unsigned jobs_;
+    /** Serializes progress_ invocations from worker threads. */
+    mutable std::mutex progressMutex_;
 };
 
 } // namespace wormnet

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/log.hh"
+#include "common/rng.hh"
 #include "core/experiment.hh"
 
 namespace wormnet
@@ -153,12 +154,17 @@ TEST(Experiment, ReplicatedCellAveragesAcrossSeeds)
     EXPECT_GT(rep.acceptedFlitRate, 0.2);
     EXPECT_LT(rep.acceptedFlitRate, 0.4);
     EXPECT_GE(rep.detectionRateStd, 0.0);
-    // Single replication path has no deviation.
+    // Single replication path has no deviation and matches a plain
+    // runCell at the derived replication-0 seed exactly.
     const CellResult single =
         runner.runCellReplicated(cfg, 400, 1200, 1);
     EXPECT_EQ(single.replications, 1u);
     EXPECT_DOUBLE_EQ(single.detectionRateStd, 0.0);
-    EXPECT_EQ(single.delivered, one.delivered);
+    SimulationConfig derived = cfg;
+    derived.seed = deriveSeed(cfg.seed, 0, 0);
+    const CellResult oneDerived = runner.runCell(derived, 400, 1200);
+    EXPECT_EQ(single.delivered, oneDerived.delivered);
+    EXPECT_DOUBLE_EQ(single.detectionRate, oneDerived.detectionRate);
 }
 
 TEST(Experiment, TableSpecReplicationsAppliesPerCell)
