@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Profile the simulator hot path.
+#
+#   scripts/profile.sh                       # perf on bench_hotpath
+#   scripts/profile.sh ./build/bench/table2_ndm_uniform --quick
+#   PROFILER=gprof scripts/profile.sh        # gprof fallback
+#
+# With PROFILER=perf (default, if perf exists) records and prints the
+# top of the flat profile; with PROFILER=gprof rebuilds into
+# build-gprof with -pg and prints the flat profile. Everything after
+# the script name is the command to profile; the default is
+# bench_hotpath, whose scenarios isolate the Network::step() phases
+# the activity sets accelerate (see docs/MECHANISMS.md, "Hot path &
+# activity tracking").
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PROFILER=${PROFILER:-}
+if [[ -z "$PROFILER" ]]; then
+    if command -v perf >/dev/null 2>&1; then
+        PROFILER=perf
+    else
+        PROFILER=gprof
+    fi
+fi
+
+if [[ $# -gt 0 ]]; then
+    CMD=("$@")
+else
+    CMD=(./build/bench/bench_hotpath --min-seconds 2)
+fi
+
+case "$PROFILER" in
+perf)
+    [[ -x build/bench/bench_hotpath ]] || {
+        cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+        cmake --build build -j "$(nproc)"
+    }
+    perf record -g --output=profile.perf.data -- "${CMD[@]}"
+    perf report --input=profile.perf.data --stdio | head -60
+    echo "full report: perf report --input=profile.perf.data"
+    ;;
+gprof)
+    # -pg needs its own tree; reuse it across runs.
+    cmake -B build-gprof -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS=-pg -DCMAKE_EXE_LINKER_FLAGS=-pg
+    cmake --build build-gprof -j "$(nproc)"
+    BIN=${CMD[0]/build/build-gprof}
+    "$BIN" "${CMD[@]:1}"
+    gprof "$BIN" gmon.out | head -60
+    echo "full report: gprof $BIN gmon.out"
+    ;;
+*)
+    echo "unknown PROFILER '$PROFILER' (use perf or gprof)" >&2
+    exit 1
+    ;;
+esac

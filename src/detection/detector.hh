@@ -137,6 +137,19 @@ class DeadlockDetector
         (void)faulty;
     }
 
+    /**
+     * True when onCycleEnd with tx_mask == 0 and occupied_mask == 0
+     * is a stable reset: one such call after a router's last activity
+     * leaves this detector's per-router state exactly as init() did,
+     * and further idle calls change nothing. The simulator then skips
+     * fully idle routers after a single trailing cycle-end call
+     * (activity-driven core). Detectors that accumulate state even on
+     * idle routers — e.g. ungated PDM, which times *unoccupied*
+     * channels too — must keep the default and receive the exhaustive
+     * per-router sweep every cycle.
+     */
+    virtual bool idleCycleEndStable() const { return false; }
+
     /** Detector name for reports. */
     virtual std::string name() const = 0;
 };

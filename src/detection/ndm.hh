@@ -87,6 +87,8 @@ class NdmDetector : public DeadlockDetector
                     PortMask occupied_mask, Cycle now) override;
     void onPortFaultChanged(NodeId router, PortId out_port,
                             bool faulty) override;
+    /** Idle (0, 0) cycle-ends only re-clear already-clear state. */
+    bool idleCycleEndStable() const override { return true; }
     std::string name() const override;
 
     /** @name White-box accessors for unit tests. */

@@ -51,6 +51,12 @@ class PdmDetector : public DeadlockDetector
                     PortMask occupied_mask, Cycle now) override;
     void onPortFaultChanged(NodeId router, PortId out_port,
                             bool faulty) override;
+    /** Ungated PDM times unoccupied channels, so idle routers still
+     *  advance counters; only the gated variant may be skipped. */
+    bool idleCycleEndStable() const override
+    {
+        return params_.gateOccupancy;
+    }
     std::string name() const override;
 
     /** @name White-box accessors for unit tests. */

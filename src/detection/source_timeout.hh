@@ -42,6 +42,7 @@ class SourceTimeoutDetectorBase : public DeadlockDetector
         return false;
     }
     void onCycleEnd(NodeId, PortMask, PortMask, Cycle) override {}
+    bool idleCycleEndStable() const override { return true; }
 
   protected:
     Cycle threshold_;

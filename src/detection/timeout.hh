@@ -43,6 +43,7 @@ class TimeoutDetector : public DeadlockDetector
     onCycleEnd(NodeId, PortMask, PortMask, Cycle) override
     {
     }
+    bool idleCycleEndStable() const override { return true; }
     std::string name() const override;
 
   private:
@@ -71,6 +72,7 @@ class NullDetector : public DeadlockDetector
         return false;
     }
     void onCycleEnd(NodeId, PortMask, PortMask, Cycle) override {}
+    bool idleCycleEndStable() const override { return true; }
     std::string name() const override { return "none"; }
 };
 

@@ -42,7 +42,7 @@ DishaRecovery::onDeadlockDetected(MsgId msg)
     // Mark now (so the verdict is not re-raised every cycle) but the
     // worm keeps holding its channels until a lane token arrives.
     m.status = MsgStatus::Recovering;
-    vc.recovering = true;
+    net_->setHeadRecovering(msg);
     waiting_.push_back(msg);
     grantTokens();
 }

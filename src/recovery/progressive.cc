@@ -45,7 +45,7 @@ ProgressiveRecovery::onDeadlockDetected(MsgId msg)
     }
 
     m.status = MsgStatus::Recovering;
-    vc.recovering = true;
+    net_->setHeadRecovering(msg);
     draining_[head.node].push_back(msg);
     ++numDraining_;
 }

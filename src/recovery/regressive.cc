@@ -36,7 +36,7 @@ RegressiveRecovery::onDeadlockDetected(MsgId msg)
     InputVc &vc = net_->router(head.node).inputVc(head.port, head.vc);
     wn_assert(vc.msg == msg);
     m.status = MsgStatus::Recovering;
-    vc.recovering = true;
+    net_->setHeadRecovering(msg);
     killList_.push_back(msg);
 }
 

@@ -104,6 +104,10 @@ struct InputVc
     /** The occupying message is draining into the recovery buffer. */
     bool recovering = false;
 
+    /** Member of the Network's routable-head set. Owned by
+     *  Network::syncRoutable(); nothing else may write it. */
+    bool inRouteSet = false;
+
     bool free() const { return msg == kInvalidMsg; }
 
     /** Reset per-worm state when the worm fully leaves the VC. */

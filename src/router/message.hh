@@ -67,6 +67,10 @@ struct Message
     /** Delivered through the recovery path rather than the network. */
     bool recovered = false;
 
+    /** Already sitting in the Network's fault-kill queue this cycle
+     *  (keeps worms hit at several points from queueing twice). */
+    bool faultKillQueued = false;
+
     /** @name Occupied-VC chain (front = closest to the source). */
     /// @{
     void

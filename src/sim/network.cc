@@ -1,6 +1,8 @@
 #include "sim/network.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/log.hh"
 #include "fault/fault.hh"
@@ -63,6 +65,36 @@ Network::Network(const Topology &topo, const NetworkParams &params,
         params.injectionLimitFraction *
         (routerParams_.netPorts * routerParams_.vcs));
 
+    inPorts_ = routerParams_.numInPorts();
+    outPorts_ = routerParams_.numOutPorts();
+    vcs_ = routerParams_.vcs;
+    netPorts_ = routerParams_.netPorts;
+
+    routeActive_.init(n);
+    routablePerPort_.assign(std::size_t(n) * inPorts_, 0);
+    routablePerNode_.assign(n, 0);
+    switchActive_.init(n);
+    allocPerPort_.assign(std::size_t(n) * outPorts_, 0);
+    allocPerNode_.assign(n, 0);
+    allocOutMask_.assign(n, 0);
+    netAllocPerNode_.assign(n, 0);
+    injActive_.init(n);
+    injVcBusy_.assign(n, 0);
+    detActive_.init(n);
+    detectorIdleStable_ = detector_.idleCycleEndStable();
+
+    // Steady-state churn should never reallocate the per-cycle
+    // scratch buffers.
+    txNodes_.reserve(n);
+    nodeScratch_.reserve(n);
+    creditReturns_.reserve(std::size_t(n) * outPorts_);
+    faultKillQueue_.reserve(64);
+    candScratch_.reserve(outPorts_);
+    freeScratch_.reserve(std::size_t(outPorts_) * vcs_);
+
+    const char *check = std::getenv("WORMNET_CHECK_ACTIVE_SETS");
+    checkActiveSets_ = check != nullptr && std::strcmp(check, "0") != 0;
+
     DetectorContext ctx;
     ctx.numRouters = n;
     ctx.numInPorts = routerParams_.numInPorts();
@@ -96,15 +128,6 @@ Network::setFlitRate(double flit_rate)
         gen.setFlitRate(flit_rate);
 }
 
-std::size_t
-Network::totalQueued() const
-{
-    std::size_t total = 0;
-    for (const auto &q : sourceQueues_)
-        total += q.size();
-    return total;
-}
-
 MsgId
 Network::injectMessage(NodeId src, NodeId dst, unsigned length)
 {
@@ -118,8 +141,113 @@ Network::injectMessage(NodeId src, NodeId dst, unsigned length)
         stats_.wGeneratedFlits += length;
     }
     trace(TraceEvent::Generated, id, src);
-    sourceQueues_[src].push_back(id);
+    pushSource(src, id, false);
     return id;
+}
+
+void
+Network::syncRoutable(NodeId node, PortId port, VcId vc)
+{
+    InputVc &ivc = routers_[node].inputVc(port, vc);
+    const bool want =
+        ivc.msg != kInvalidMsg && !ivc.routed && !ivc.recovering;
+    if (want == ivc.inRouteSet)
+        return;
+    ivc.inRouteSet = want;
+    if (want) {
+        ++routablePerPort_[std::size_t(node) * inPorts_ + port];
+        if (routablePerNode_[node]++ == 0)
+            routeActive_.insert(node);
+    } else {
+        --routablePerPort_[std::size_t(node) * inPorts_ + port];
+        if (--routablePerNode_[node] == 0)
+            routeActive_.erase(node);
+    }
+}
+
+void
+Network::syncInjActive(NodeId node)
+{
+    if (!sourceQueues_[node].empty() || injVcBusy_[node] > 0)
+        injActive_.insert(node);
+    else
+        injActive_.erase(node);
+}
+
+void
+Network::allocOutputVc(NodeId node, PortId port, VcId vc, MsgId msg,
+                       PortId src_port, VcId src_vc)
+{
+    OutputVc &out = routers_[node].outputVc(port, vc);
+    wn_assert(!out.allocated);
+    out.allocated = true;
+    out.msg = msg;
+    out.srcPort = src_port;
+    out.srcVc = src_vc;
+    if (allocPerPort_[std::size_t(node) * outPorts_ + port]++ == 0)
+        allocOutMask_[node] |= PortMask(1) << port;
+    if (allocPerNode_[node]++ == 0)
+        switchActive_.insert(node);
+    if (port < netPorts_)
+        ++netAllocPerNode_[node];
+    detActive_.insert(node);
+}
+
+void
+Network::releaseOutputVc(NodeId node, PortId port, VcId vc)
+{
+    OutputVc &out = routers_[node].outputVc(port, vc);
+    wn_assert(out.allocated);
+    out.release();
+    if (--allocPerPort_[std::size_t(node) * outPorts_ + port] == 0)
+        allocOutMask_[node] &= ~(PortMask(1) << port);
+    if (--allocPerNode_[node] == 0)
+        switchActive_.erase(node);
+    if (port < netPorts_)
+        --netAllocPerNode_[node];
+}
+
+void
+Network::releaseInputVc(NodeId node, PortId port, VcId vc)
+{
+    routers_[node].inputVc(port, vc).release();
+    syncRoutable(node, port, vc);
+    if (port >= netPorts_) {
+        --injVcBusy_[node];
+        syncInjActive(node);
+    }
+    detector_.onInputVcFreed(node, port, vc);
+}
+
+void
+Network::queueFaultKill(MsgId msg)
+{
+    Message &m = messages_.get(msg);
+    if (m.faultKillQueued)
+        return; // worm hit at several points in the same sweep
+    m.faultKillQueued = true;
+    faultKillQueue_.push_back(msg);
+}
+
+void
+Network::pushSource(NodeId node, MsgId msg, bool at_front)
+{
+    if (at_front)
+        sourceQueues_[node].push_front(msg);
+    else
+        sourceQueues_[node].push_back(msg);
+    ++totalQueuedCount_;
+    injActive_.insert(node);
+}
+
+MsgId
+Network::popSource(NodeId node)
+{
+    const MsgId msg = sourceQueues_[node].front();
+    sourceQueues_[node].pop_front();
+    --totalQueuedCount_;
+    syncInjActive(node);
+    return msg;
 }
 
 void
@@ -140,7 +268,10 @@ Network::portFaulty(NodeId node, PortId out_port) const
 void
 Network::step()
 {
-    std::fill(txMask_.begin(), txMask_.end(), 0);
+    // Only nodes that transmitted last cycle have a nonzero mask.
+    for (const NodeId node : txNodes_)
+        txMask_[node] = 0;
+    txNodes_.clear();
 
     faultTick();
     generateAndInject();
@@ -173,13 +304,16 @@ Network::step()
     detectorCycleEnd();
     oracleTick();
 
+    if (checkActiveSets_)
+        verifyActiveSets();
+
     ++now_;
 }
 
 bool
-Network::injectionAllowed(const Router &rt) const
+Network::injectionAllowed(NodeId node) const
 {
-    return rt.busyNetworkOutputVcs() <= injectionLimitCount_;
+    return netAllocPerNode_[node] <= injectionLimitCount_;
 }
 
 void
@@ -210,15 +344,15 @@ Network::scanForStrandedWorms()
     for (NodeId node = 0; node < numNodes(); ++node) {
         const bool dead_router = faults_->routerFaulty(node);
         Router &rt = routers_[node];
-        for (PortId p = 0; p < routerParams_.numInPorts(); ++p) {
-            for (VcId v = 0; v < routerParams_.vcs; ++v) {
+        for (PortId p = 0; p < inPorts_; ++p) {
+            for (VcId v = 0; v < vcs_; ++v) {
                 InputVc &vc = rt.inputVc(p, v);
                 if (vc.free())
                     continue;
                 if (dead_router) {
                     // Anything still buffered in a dead router is
                     // lost.
-                    faultKillQueue_.push_back(vc.msg);
+                    queueFaultKill(vc.msg);
                     continue;
                 }
                 if (!vc.routed || !portFaulty(node, vc.outPort))
@@ -232,22 +366,24 @@ Network::scanForStrandedWorms()
                     // have pushed a new head link): back the decision
                     // out and let the next routing phase pick a live
                     // channel.
-                    OutputVc &out = rt.outputVc(vc.outPort, vc.outVc);
+                    const OutputVc &out =
+                        rt.outputVc(vc.outPort, vc.outVc);
                     wn_assert(out.allocated && out.msg == vc.msg);
                     wn_assert(out.credits == routerParams_.bufDepth);
-                    out.release();
+                    releaseOutputVc(node, vc.outPort, vc.outVc);
                     vc.routed = false;
                     vc.outPort = kInvalidPort;
                     vc.outVc = kInvalidVc;
                     vc.allocCycle = kNever;
                     vc.attempted = false;
                     vc.headBlockedSince = kNever;
+                    syncRoutable(node, p, v);
                     ++stats_.faultReroutes;
                     trace(TraceEvent::Rerouted, vc.msg, node, p, v);
                 } else {
                     // Body/tail flits still feed the dead link: the
                     // worm is cut in two and cannot make progress.
-                    faultKillQueue_.push_back(vc.msg);
+                    queueFaultKill(vc.msg);
                 }
             }
         }
@@ -259,9 +395,10 @@ Network::processFaultKills()
 {
     for (const MsgId msg : faultKillQueue_) {
         Message &m = messages_.get(msg);
+        m.faultKillQueued = false;
         if (m.status != MsgStatus::Active &&
             m.status != MsgStatus::Recovering)
-            continue; // queued twice (worm hit at several points)
+            continue; // e.g. recovery completed it this very cycle
         stats_.faultFlitsDropped += m.flitsInjected - m.flitsEjected;
         ++stats_.faultKills;
         trace(TraceEvent::FaultKilled, msg,
@@ -294,9 +431,13 @@ Network::generateAndInject()
         wn_assert(m.status == MsgStatus::Killed);
         m.status = MsgStatus::Queued;
         trace(TraceEvent::Reinjected, id, m.src);
-        sourceQueues_[m.src].push_front(id);
+        pushSource(m.src, id, true);
     }
 
+    // Every live node draws from its generator each cycle (the
+    // arrival process is a per-cycle Bernoulli trial), but only
+    // active injectors — a queued message or an in-progress worm —
+    // are worth a port/VC scan.
     for (NodeId node = 0; node < numNodes(); ++node) {
         if (faults_ && faults_->routerFaulty(node))
             continue; // a dead router neither generates nor injects
@@ -311,10 +452,11 @@ Network::generateAndInject()
                     stats_.wGeneratedFlits += gen->length;
                 }
                 trace(TraceEvent::Generated, id, node);
-                sourceQueues_[node].push_back(id);
+                pushSource(node, id, false);
             }
         }
-        tryStartInjection(node);
+        if (injActive_.contains(node))
+            tryStartInjection(node);
     }
 }
 
@@ -377,7 +519,7 @@ Network::tryStartInjection(NodeId node)
         // Otherwise try to start a new message on this port.
         if (sourceQueues_[node].empty())
             continue;
-        if (params_.injectionLimit && !injectionAllowed(rt))
+        if (params_.injectionLimit && !injectionAllowed(node))
             continue;
         VcId free_vc = kInvalidVc;
         for (VcId v = 0; v < vcs; ++v) {
@@ -390,8 +532,7 @@ Network::tryStartInjection(NodeId node)
         if (free_vc == kInvalidVc)
             continue;
 
-        const MsgId id = sourceQueues_[node].front();
-        sourceQueues_[node].pop_front();
+        const MsgId id = popSource(node);
         Message &m = messages_.get(id);
         wn_assert(m.status == MsgStatus::Queued);
         m.status = MsgStatus::Active;
@@ -411,15 +552,24 @@ Network::tryStartInjection(NodeId node)
 void
 Network::routeAll()
 {
-    const unsigned in_ports = routerParams_.numInPorts();
-    for (NodeId node = 0; node < numNodes(); ++node) {
+    // Snapshot the active nodes: routing can only shrink the set
+    // (grants and recovery verdicts), and a shrunken entry's
+    // routeOne is a no-op, exactly as in the exhaustive scan.
+    nodeScratch_.clear();
+    routeActive_.appendTo(nodeScratch_);
+    for (const NodeId node : nodeScratch_) {
         Router &rt = routers_[node];
-        const unsigned offset = (now_ + node) % in_ports;
-        for (unsigned i = 0; i < in_ports; ++i) {
+        const PortMask fault_mask =
+            faults_ ? faults_->faultyOutMask(node) : 0;
+        const unsigned offset = (now_ + node) % inPorts_;
+        for (unsigned i = 0; i < inPorts_; ++i) {
             const PortId port =
-                static_cast<PortId>((offset + i) % in_ports);
-            for (VcId v = 0; v < routerParams_.vcs; ++v)
-                routeOne(rt, port, v);
+                static_cast<PortId>((offset + i) % inPorts_);
+            if (routablePerPort_[std::size_t(node) * inPorts_ +
+                                 port] == 0)
+                continue;
+            for (VcId v = 0; v < vcs_; ++v)
+                routeOne(rt, port, v, fault_mask);
         }
     }
 }
@@ -438,7 +588,8 @@ Network::downstreamVcFree(const Router &rt, PortId out_port,
 }
 
 void
-Network::routeOne(Router &rt, PortId port, VcId v)
+Network::routeOne(Router &rt, PortId port, VcId v,
+                  PortMask fault_mask)
 {
     InputVc &vc = rt.inputVc(port, v);
     if (vc.free() || vc.routed || vc.recovering || vc.fifo.empty())
@@ -450,8 +601,6 @@ Network::routeOne(Router &rt, PortId port, VcId v)
     const Message &m = messages_.get(vc.msg);
     routing_.route(rt.nodeId(), m.dst, port, v, candScratch_);
 
-    const PortMask fault_mask =
-        faults_ ? faults_->faultyOutMask(rt.nodeId()) : 0;
     freeScratch_.clear();
     PortMask feasible = 0;
     for (const auto &cand : candScratch_) {
@@ -475,7 +624,7 @@ Network::routeOne(Router &rt, PortId port, VcId v)
         // head can never advance, and judging dead channels would be
         // a guaranteed false deadlock. Hand the worm to the fault
         // path instead of the detector.
-        faultKillQueue_.push_back(vc.msg);
+        queueFaultKill(vc.msg);
         return;
     }
 
@@ -484,12 +633,10 @@ Network::routeOne(Router &rt, PortId port, VcId v)
             params_.selection == VcSelection::Random
                 ? freeScratch_[rng_.nextBounded(freeScratch_.size())]
                 : freeScratch_.front();
-        OutputVc &out = rt.outputVc(pick.port, pick.vc);
-        wn_assert(out.credits == routerParams_.bufDepth);
-        out.allocated = true;
-        out.msg = vc.msg;
-        out.srcPort = port;
-        out.srcVc = v;
+        wn_assert(rt.outputVc(pick.port, pick.vc).credits ==
+                  routerParams_.bufDepth);
+        allocOutputVc(rt.nodeId(), pick.port, pick.vc, vc.msg, port,
+                      v);
         vc.routed = true;
         vc.outPort = pick.port;
         vc.outVc = pick.vc;
@@ -497,6 +644,7 @@ Network::routeOne(Router &rt, PortId port, VcId v)
         vc.attempted = false;
         vc.lastFeasible = 0;
         vc.headBlockedSince = kNever;
+        syncRoutable(rt.nodeId(), port, v);
         detector_.onMessageRouted(rt.nodeId(), port, v);
         trace(TraceEvent::Routed, vc.msg, rt.nodeId(), pick.port,
               pick.vc);
@@ -536,13 +684,10 @@ Network::handleDetection(MsgId msg)
             ++stats_.wFalseDetections;
     }
     ++m.timesDetected;
-    for (const auto &entry : deadlockFirstSeen_) {
-        if (entry.first == msg) {
-            stats_.detectionLatency.add(
-                static_cast<double>(now_ - entry.second));
-            break;
-        }
-    }
+    const auto seen = deadlockFirstSeen_.find(msg);
+    if (seen != deadlockFirstSeen_.end())
+        stats_.detectionLatency.add(
+            static_cast<double>(now_ - seen->second));
     trace(TraceEvent::Detected, msg,
           m.numLinks() > 0 ? m.headLink().node : kInvalidNode);
     if (recovery_)
@@ -552,19 +697,29 @@ Network::handleDetection(MsgId msg)
 void
 Network::switchAll()
 {
-    for (NodeId node = 0; node < numNodes(); ++node) {
+    // Snapshot: transfers can release output VCs (tail flits) but
+    // never allocate, so the set only shrinks while iterating — and
+    // a port whose last VC was just released yields no winner, same
+    // as the exhaustive scan.
+    nodeScratch_.clear();
+    switchActive_.appendTo(nodeScratch_);
+    for (const NodeId node : nodeScratch_) {
         Router &rt = routers_[node];
         const PortMask fault_mask =
             faults_ ? faults_->faultyOutMask(node) : 0;
-        for (PortId q = 0; q < routerParams_.numOutPorts(); ++q) {
-            if ((fault_mask >> q) & 1u)
-                continue; // dead link transmits nothing
+        // Ports without an allocated VC have no switch candidates;
+        // iterating the mask's set bits ascending preserves the full
+        // scan's port order.
+        PortMask ports = allocOutMask_[node] & ~fault_mask;
+        while (ports) {
+            const PortId q = static_cast<PortId>(
+                __builtin_ctz(ports));
+            ports &= ports - 1;
             // Each allocated output VC names its owning input VC, so
             // the arbiter only has to look at vcs candidates.
-            const unsigned vcs = routerParams_.vcs;
             int winner = -1;
-            for (unsigned k = 0; k < vcs; ++k) {
-                const unsigned v2 = (rt.saRoundRobin[q] + k) % vcs;
+            for (unsigned k = 0; k < vcs_; ++k) {
+                const unsigned v2 = (rt.saRoundRobin[q] + k) % vcs_;
                 const OutputVc &out =
                     rt.outputVc(q, static_cast<VcId>(v2));
                 if (!out.allocated)
@@ -590,8 +745,11 @@ Network::switchAll()
             const OutputVc &out =
                 rt.outputVc(q, static_cast<VcId>(winner));
             transferFlit(rt, q, out.srcPort, out.srcVc);
-            rt.saRoundRobin[q] = (winner + 1) % vcs;
+            rt.saRoundRobin[q] = (winner + 1) % vcs_;
+            if (txMask_[node] == 0)
+                txNodes_.push_back(node);
             txMask_[node] |= PortMask(1) << q;
+            detActive_.insert(node);
         }
     }
 }
@@ -618,7 +776,7 @@ Network::transferFlit(Router &rt, PortId out_port, PortId in_port,
         if (measuring_)
             ++stats_.wFlitsDelivered;
         if (isTailFlit(f.type)) {
-            out.release();
+            releaseOutputVc(rt.nodeId(), out_port, out_vc);
             markDelivered(f.msg, false);
         }
         return;
@@ -631,7 +789,7 @@ Network::transferFlit(Router &rt, PortId out_port, PortId in_port,
     enqueueFlit(routers_[down.node], down.port, out_vc,
                 Flit{f.msg, f.type, now_ + 1});
     if (isTailFlit(f.type))
-        out.release();
+        releaseOutputVc(rt.nodeId(), out_port, out_vc);
 }
 
 Flit
@@ -651,8 +809,7 @@ Network::popFlit(Router &rt, PortId port, VcId v)
         wn_assert(oldest.node == rt.nodeId() &&
                   oldest.port == port && oldest.vc == v);
         m.popFrontLink();
-        vc.release();
-        detector_.onInputVcFreed(rt.nodeId(), port, v);
+        releaseInputVc(rt.nodeId(), port, v);
     }
     return f;
 }
@@ -666,6 +823,11 @@ Network::enqueueFlit(Router &rt, PortId port, VcId v,
         wn_assert(vc.free() && vc.fifo.empty());
         vc.msg = flit.msg;
         messages_.get(flit.msg).pushLink(rt.nodeId(), port, v);
+        syncRoutable(rt.nodeId(), port, v);
+        if (port >= netPorts_) {
+            ++injVcBusy_[rt.nodeId()];
+            injActive_.insert(rt.nodeId());
+        }
     }
     wn_assert(vc.msg == flit.msg);
     vc.fifo.push(flit);
@@ -722,10 +884,10 @@ Network::releaseWorm(Message &m)
         const InputVc &hvc =
             routers_[head.node].inputVc(head.port, head.vc);
         if (hvc.routed) {
-            OutputVc &o =
+            const OutputVc &o =
                 routers_[head.node].outputVc(hvc.outPort, hvc.outVc);
             if (o.allocated && o.msg == m.id)
-                o.release();
+                releaseOutputVc(head.node, hvc.outPort, hvc.outVc);
         }
     }
 
@@ -740,21 +902,32 @@ Network::releaseWorm(Message &m)
             OutputVc &o =
                 routers_[up.node].outputVc(up.port, link.vc);
             if (o.allocated && o.msg == m.id)
-                o.release();
+                releaseOutputVc(up.node, up.port, link.vc);
             // The buffer is about to be emptied: the full credit
             // budget is available again.
             o.credits = routerParams_.bufDepth;
         }
 
         vc.fifo.clear();
-        vc.release();
-        detector_.onInputVcFreed(link.node, link.port, link.vc);
+        releaseInputVc(link.node, link.port, link.vc);
     }
     m.clearLinks();
     m.flitsInjected = 0;
     m.flitsEjected = 0;
     wn_assert(inFlight_ > 0);
     --inFlight_;
+}
+
+void
+Network::setHeadRecovering(MsgId msg)
+{
+    const Message &m = messages_.get(msg);
+    wn_assert(m.numLinks() > 0);
+    const PathLink head = m.headLink();
+    InputVc &vc = routers_[head.node].inputVc(head.port, head.vc);
+    wn_assert(vc.msg == msg);
+    vc.recovering = true;
+    syncRoutable(head.node, head.port, head.vc);
 }
 
 void
@@ -802,18 +975,36 @@ Network::drainHeaderFlit(MsgId msg, FlitType &type)
 void
 Network::detectorCycleEnd()
 {
-    for (NodeId node = 0; node < numNodes(); ++node) {
-        const Router &rt = routers_[node];
-        PortMask occupied = 0;
-        for (PortId q = 0; q < routerParams_.numOutPorts(); ++q) {
-            if (rt.outputPcOccupied(q))
-                occupied |= PortMask(1) << q;
+    if (!detectorIdleStable_) {
+        // The detector times even unoccupied channels (ungated PDM),
+        // so every node must hear about every cycle. The occupied
+        // mask still comes from the allocation counters instead of a
+        // per-port output-VC scan.
+        for (NodeId node = 0; node < numNodes(); ++node) {
+            PortMask occupied = allocOutMask_[node];
+            // Dead channels are not timed: they will never transmit,
+            // so their inactivity says nothing about deadlock.
+            if (faults_)
+                occupied &= ~faults_->faultyOutMask(node);
+            detector_.onCycleEnd(node, txMask_[node], occupied, now_);
         }
-        // Dead channels are not timed: they will never transmit, so
-        // their inactivity says nothing about deadlock.
+        return;
+    }
+
+    // Idle-stable detector: a node with no transmissions and no
+    // allocated output VCs receives an idempotent (0, 0) call, so
+    // only active nodes need visiting. Each node gets one trailing
+    // call after going fully idle so per-channel state sees the
+    // transition before the node leaves the set.
+    nodeScratch_.clear();
+    detActive_.appendTo(nodeScratch_);
+    for (const NodeId node : nodeScratch_) {
+        PortMask occupied = allocOutMask_[node];
         if (faults_)
             occupied &= ~faults_->faultyOutMask(node);
         detector_.onCycleEnd(node, txMask_[node], occupied, now_);
+        if (txMask_[node] == 0 && allocOutMask_[node] == 0)
+            detActive_.erase(node);
     }
 }
 
@@ -860,25 +1051,93 @@ Network::oracleTick()
     stats_.currentlyDeadlocked = deadlocked.size();
 
     // Persistence tracking: how long do true deadlocks last?
-    std::vector<std::pair<MsgId, Cycle>> next;
+    std::unordered_map<MsgId, Cycle> next;
     next.reserve(deadlocked.size());
     for (const MsgId id : deadlocked) {
         Cycle first = now_;
-        bool known = false;
-        for (const auto &entry : deadlockFirstSeen_) {
-            if (entry.first == id) {
-                first = entry.second;
-                known = true;
-                break;
-            }
-        }
-        if (!known)
+        const auto it = deadlockFirstSeen_.find(id);
+        if (it != deadlockFirstSeen_.end())
+            first = it->second;
+        else
             ++stats_.trueDeadlockedMessages;
-        next.emplace_back(id, first);
+        next.emplace(id, first);
         stats_.maxDeadlockPersistence =
             std::max(stats_.maxDeadlockPersistence, now_ - first);
     }
     deadlockFirstSeen_ = std::move(next);
+}
+
+void
+Network::verifyActiveSets() const
+{
+    // Brute-force recomputation of every incrementally maintained
+    // structure; enabled with WORMNET_CHECK_ACTIVE_SETS=1. Runs at
+    // the end of step(), when all sets are expected to be coherent.
+    std::size_t queued = 0;
+    std::size_t tx_nodes = 0;
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        queued += sourceQueues_[node].size();
+        if (txMask_[node] != 0)
+            ++tx_nodes;
+        const Router &rt = routers_[node];
+
+        unsigned node_routable = 0;
+        unsigned inj_busy = 0;
+        for (PortId p = 0; p < inPorts_; ++p) {
+            unsigned port_routable = 0;
+            for (VcId v = 0; v < vcs_; ++v) {
+                const InputVc &vc = rt.inputVc(p, v);
+                const bool want = vc.msg != kInvalidMsg &&
+                                  !vc.routed && !vc.recovering;
+                wn_assert(vc.inRouteSet == want);
+                if (want)
+                    ++port_routable;
+                if (p >= netPorts_ && vc.msg != kInvalidMsg)
+                    ++inj_busy;
+            }
+            wn_assert(routablePerPort_[std::size_t(node) * inPorts_ +
+                                       p] == port_routable);
+            node_routable += port_routable;
+        }
+        wn_assert(routablePerNode_[node] == node_routable);
+        wn_assert(routeActive_.contains(node) ==
+                  (node_routable > 0));
+
+        unsigned node_alloc = 0;
+        unsigned net_alloc = 0;
+        PortMask mask = 0;
+        for (PortId q = 0; q < outPorts_; ++q) {
+            unsigned port_alloc = 0;
+            for (VcId v = 0; v < vcs_; ++v) {
+                if (rt.outputVc(q, v).allocated) {
+                    ++port_alloc;
+                    if (q < netPorts_)
+                        ++net_alloc;
+                }
+            }
+            wn_assert(allocPerPort_[std::size_t(node) * outPorts_ +
+                                    q] == port_alloc);
+            if (port_alloc > 0)
+                mask |= PortMask(1) << q;
+            node_alloc += port_alloc;
+        }
+        wn_assert(allocOutMask_[node] == mask);
+        wn_assert(allocPerNode_[node] == node_alloc);
+        wn_assert(switchActive_.contains(node) == (node_alloc > 0));
+        wn_assert(netAllocPerNode_[node] == net_alloc);
+
+        wn_assert(injVcBusy_[node] == inj_busy);
+        wn_assert(injActive_.contains(node) ==
+                  (!sourceQueues_[node].empty() || inj_busy > 0));
+
+        // detActive_ is checked for soundness, not exact equality: it
+        // may hold an idle node for one trailing cycle-end call, but
+        // must cover every node the detector still needs to see.
+        if (node_alloc > 0 || txMask_[node] != 0)
+            wn_assert(detActive_.contains(node));
+    }
+    wn_assert(totalQueuedCount_ == queued);
+    wn_assert(txNodes_.size() == tx_nodes);
 }
 
 } // namespace wormnet

@@ -31,6 +31,7 @@
 #include <deque>
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hh"
@@ -39,6 +40,7 @@
 #include "router/message.hh"
 #include "router/router.hh"
 #include "routing/routing.hh"
+#include "sim/activity.hh"
 #include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "topology/topology.hh"
@@ -148,8 +150,9 @@ class Network
         return sourceQueues_[node].size();
     }
 
-    /** Total messages waiting in all source queues. */
-    std::size_t totalQueued() const;
+    /** Total messages waiting in all source queues (O(1): maintained
+     *  as a running counter, polled every drain-loop iteration). */
+    std::size_t totalQueued() const { return totalQueuedCount_; }
 
     /** Messages currently inside the network (injecting/blocked). */
     std::size_t inFlight() const { return inFlight_; }
@@ -219,6 +222,14 @@ class Network
     void markDelivered(MsgId msg, bool via_recovery);
 
     /**
+     * Flag @p msg's head input VC as draining into the recovery
+     * buffer. Recovery managers must use this instead of writing
+     * InputVc::recovering directly so the Network's activity sets
+     * stay consistent.
+     */
+    void setHeadRecovering(MsgId msg);
+
+    /**
      * Regressive recovery: remove @p msg's flits from every buffer it
      * occupies, release its VCs and credits, and re-queue it at its
      * source after @p reinject_delay cycles.
@@ -249,7 +260,8 @@ class Network
     void generateAndInject();
     void tryStartInjection(NodeId node);
     void routeAll();
-    void routeOne(Router &rt, PortId port, VcId vc);
+    void routeOne(Router &rt, PortId port, VcId vc,
+                  PortMask fault_mask);
     void switchAll();
     void transferFlit(Router &rt, PortId out_port, PortId in_port,
                       VcId in_vc);
@@ -283,7 +295,53 @@ class Network
     Flit popFlit(Router &rt, PortId port, VcId vc);
 
     /** Injection-limitation check for @p node. */
-    bool injectionAllowed(const Router &rt) const;
+    bool injectionAllowed(NodeId node) const;
+
+    /** @name Activity-set maintenance (see docs/MECHANISMS.md).
+     *
+     * The per-cycle phases iterate small active sets instead of
+     * scanning every node x port x VC. Membership is updated at the
+     * state transitions below; every set iterates in ascending node
+     * order (and the unmodified inner port/VC order), which keeps the
+     * cycle-level behaviour bitwise-identical to exhaustive scans.
+     */
+    /// @{
+    /** Re-derive (node, port, vc)'s routable-head set membership
+     *  after any mutation of its msg/routed/recovering state. */
+    void syncRoutable(NodeId node, PortId port, VcId vc);
+
+    /** Re-derive @p node's active-injector set membership from its
+     *  source queue and injection-VC occupancy. */
+    void syncInjActive(NodeId node);
+
+    /** Allocate output (port, vc) of @p node to @p msg coming from
+     *  input (src_port, src_vc), with switch/detector set upkeep. */
+    void allocOutputVc(NodeId node, PortId port, VcId vc, MsgId msg,
+                       PortId src_port, VcId src_vc);
+
+    /** Release output (port, vc) of @p node, with set upkeep. */
+    void releaseOutputVc(NodeId node, PortId port, VcId vc);
+
+    /** Release input (port, vc) of @p node (worm fully left): resets
+     *  the VC, maintains the activity sets and fires the detector's
+     *  onInputVcFreed hook. */
+    void releaseInputVc(NodeId node, PortId port, VcId vc);
+
+    /** Queue @p msg for a fault kill unless already queued. */
+    void queueFaultKill(MsgId msg);
+
+    /** Push @p msg onto @p node's source queue (front when
+     *  @p at_front: regressive re-injection) with counter upkeep. */
+    void pushSource(NodeId node, MsgId msg, bool at_front);
+
+    /** Pop the front of @p node's source queue with counter upkeep. */
+    MsgId popSource(NodeId node);
+
+    /** Cross-check every active set against a brute-force scan
+     *  (enabled via the WORMNET_CHECK_ACTIVE_SETS environment
+     *  variable; panics on the first divergence). */
+    void verifyActiveSets() const;
+    /// @}
 
     /** Record a deadlock verdict for @p msg and invoke recovery. */
     void handleDetection(MsgId msg);
@@ -353,6 +411,63 @@ class Network
     std::vector<RouteCandidate> candScratch_;
     std::vector<PortVc> freeScratch_;
 
+    /** @name Activity-driven core state.
+     *
+     * Counters are exact (every transition goes through the helpers
+     * above); the bitsets are derived from them. detActive_ is the
+     * one history-bearing set: a node stays in it for one trailing
+     * cycle-end call after going idle, so idle-stable detectors see
+     * their final (0, 0) reset before the node is dropped.
+     */
+    /// @{
+    /** Cached router shape (hoisted out of the per-cycle loops). */
+    unsigned inPorts_ = 0;
+    unsigned outPorts_ = 0;
+    unsigned vcs_ = 0;
+    unsigned netPorts_ = 0;
+
+    /** Nodes with >= 1 input VC holding an unrouted head. */
+    NodeBitset routeActive_;
+    /** Routable input VCs per (node, in_port) / per node. */
+    std::vector<std::uint16_t> routablePerPort_;
+    std::vector<std::uint16_t> routablePerNode_;
+
+    /** Nodes with >= 1 allocated output VC. */
+    NodeBitset switchActive_;
+    /** Allocated output VCs per (node, out_port) / per node, the
+     *  derived per-node port mask, and the network-ports-only count
+     *  feeding the injection-limitation check. */
+    std::vector<std::uint8_t> allocPerPort_;
+    std::vector<std::uint16_t> allocPerNode_;
+    std::vector<PortMask> allocOutMask_;
+    std::vector<std::uint16_t> netAllocPerNode_;
+
+    /** Nodes with a nonempty source queue or an occupied injection
+     *  VC (the only ones tryStartInjection can do anything for). */
+    NodeBitset injActive_;
+    std::vector<std::uint16_t> injVcBusy_;
+
+    /** Nodes owed a detector cycle-end call (active now, or active
+     *  at their previous call: one trailing reset call). */
+    NodeBitset detActive_;
+    /** The attached detector tolerates skipping idle routers. */
+    bool detectorIdleStable_ = false;
+
+    /** Nodes whose txMask_ entry is nonzero this cycle (cleared at
+     *  the next step() instead of re-filling the whole vector). */
+    std::vector<NodeId> txNodes_;
+
+    /** Snapshot buffers for iterating the bitsets. */
+    std::vector<NodeId> nodeScratch_;
+
+    /** Messages waiting in all source queues (satellite: totalQueued
+     *  used to re-sum every queue per call). */
+    std::size_t totalQueuedCount_ = 0;
+
+    /** Brute-force cross-check of every set each cycle. */
+    bool checkActiveSets_ = false;
+    /// @}
+
     std::size_t inFlight_ = 0;
     std::size_t injectionLimitCount_ = 0;
 
@@ -362,8 +477,10 @@ class Network
     /// @{
     Cycle oracleCacheCycle_ = kNever;
     std::vector<MsgId> oracleCache_;
-    /** msg -> cycle first seen deadlocked (dense map by MsgId). */
-    std::vector<std::pair<MsgId, Cycle>> deadlockFirstSeen_;
+    /** msg -> cycle first seen deadlocked. A hash map: the linear
+     *  scans it replaced were O(detections x deadlocked) near
+     *  saturation. */
+    std::unordered_map<MsgId, Cycle> deadlockFirstSeen_;
     /// @}
 };
 
