@@ -61,6 +61,9 @@ printStatus(Network &net, NdmDetector &det,
           case MsgStatus::Killed:
             state = "killed ";
             break;
+          case MsgStatus::Abandoned:
+            state = "abandon";
+            break;
         }
         if (m.status == MsgStatus::Active && m.numLinks() > 0) {
             const PathLink head = m.headLink();

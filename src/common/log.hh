@@ -107,20 +107,6 @@ setLogVerbosity(int level)
     log_detail::setVerbosity(level);
 }
 
-/**
- * wn_assert: invariant check that stays enabled in release builds
- * (simulation correctness beats the trivial cost of these branches).
- * Calls panic() on failure.
- */
-#define wn_assert(cond, ...)                                           \
-    do {                                                               \
-        if (!(cond)) {                                                 \
-            ::wormnet::panic("assertion failed: ", #cond, " at ",      \
-                             __FILE__, ":", __LINE__,                  \
-                             ##__VA_ARGS__);                           \
-        }                                                              \
-    } while (0)
-
 } // namespace wormnet
 
 #endif // WORMNET_COMMON_LOG_HH

@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 
 namespace wormnet
@@ -24,8 +25,8 @@ thread_local std::size_t tlsWorker = 0;
 ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
     : queueCapacity_(queue_capacity)
 {
-    wn_assert(threads >= 1);
-    wn_assert(queue_capacity >= 1);
+    WORMNET_ASSERT(threads >= 1);
+    WORMNET_ASSERT(queue_capacity >= 1);
     local_.resize(threads);
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i)
@@ -47,7 +48,7 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(Task task)
 {
-    wn_assert(task != nullptr);
+    WORMNET_ASSERT(task != nullptr);
     std::unique_lock<std::mutex> lock(mutex_);
     if (tlsPool == this) {
         // Nested submission from one of our own workers: the worker's

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 
 namespace wormnet
@@ -44,8 +45,8 @@ RunningStat::stddev() const
 Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
     : width_(bucket_width), buckets_(num_buckets, 0)
 {
-    wn_assert(bucket_width >= 1);
-    wn_assert(num_buckets >= 1);
+    WORMNET_ASSERT(bucket_width >= 1);
+    WORMNET_ASSERT(num_buckets >= 1);
 }
 
 void

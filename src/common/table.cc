@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 
 namespace wormnet
@@ -13,13 +14,13 @@ namespace wormnet
 TextTable::TextTable(std::size_t num_columns)
     : numColumns_(num_columns)
 {
-    wn_assert(num_columns >= 1);
+    WORMNET_ASSERT(num_columns >= 1);
 }
 
 void
 TextTable::addRow(std::vector<std::string> cells)
 {
-    wn_assert(cells.size() == numColumns_,
+    WORMNET_ASSERT(cells.size() == numColumns_,
               " (got ", cells.size(), ", want ", numColumns_, ")");
     rows_.push_back(Row{false, std::move(cells)});
 }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
@@ -73,7 +74,7 @@ CellResult
 ExperimentRunner::reduceReplications(
     const std::vector<CellResult> &slots)
 {
-    wn_assert(!slots.empty());
+    WORMNET_ASSERT(!slots.empty());
     RunningStat det;
     CellResult out;
     for (const CellResult &cell : slots) {
@@ -101,7 +102,7 @@ ExperimentRunner::runCellReplicated(const SimulationConfig &config,
                                     unsigned replications,
                                     std::uint64_t cell_index) const
 {
-    wn_assert(replications >= 1);
+    WORMNET_ASSERT(replications >= 1);
     std::vector<CellResult> slots(replications);
     parallelFor(replications, jobs_, [&](std::size_t p) {
         SimulationConfig cfg = config;
@@ -114,8 +115,8 @@ ExperimentRunner::runCellReplicated(const SimulationConfig &config,
 TableResult
 ExperimentRunner::runTable(const TableSpec &spec) const
 {
-    wn_assert(spec.rates.size() == spec.rateLabels.size());
-    wn_assert(spec.replications >= 1);
+    WORMNET_ASSERT(spec.rates.size() == spec.rateLabels.size());
+    WORMNET_ASSERT(spec.replications >= 1);
     const std::size_t nRates = spec.rates.size();
     const std::size_t nSizes = spec.sizeClasses.size();
     const std::size_t nThs = spec.thresholds.size();
@@ -258,7 +259,7 @@ ExperimentRunner::findSaturationRate(const SimulationConfig &base,
                                      Cycle measure,
                                      unsigned iterations) const
 {
-    wn_assert(lo > 0.0 && hi > lo);
+    WORMNET_ASSERT(lo > 0.0 && hi > lo);
     const auto saturatedAt = [&](double rate) {
         SimulationConfig cfg = base;
         cfg.flitRate = rate;

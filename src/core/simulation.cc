@@ -3,9 +3,6 @@
 #include <sstream>
 
 #include "common/log.hh"
-#include "topology/mesh.hh"
-#include "topology/mixed_torus.hh"
-#include "topology/torus.hh"
 
 namespace wormnet
 {
@@ -50,26 +47,8 @@ SimulationConfig::fromConfig(const Config &cfg)
 Simulation::Simulation(const SimulationConfig &config)
     : config_(config)
 {
-    if (!config.radices.empty()) {
-        if (config.topology != "torus")
-            fatal("mixed radices are only supported on tori");
-        std::vector<unsigned> radices;
-        std::stringstream ss(config.radices);
-        std::string item;
-        while (std::getline(ss, item, 'x'))
-            radices.push_back(
-                static_cast<unsigned>(std::stoul(item)));
-        topology_ =
-            std::make_unique<MixedRadixTorus>(std::move(radices));
-    } else if (config.topology == "torus") {
-        topology_ =
-            std::make_unique<KAryNCube>(config.radix, config.dims);
-    } else if (config.topology == "mesh") {
-        topology_ =
-            std::make_unique<KAryNMesh>(config.radix, config.dims);
-    } else {
-        fatal("unknown topology '", config.topology, "'");
-    }
+    topology_ = makeTopology(config.topology, config.radix,
+                             config.dims, config.radices);
 
     pattern_ = makePattern(config.pattern, *topology_);
     lengths_ = makeLengthDistribution(config.lengths);

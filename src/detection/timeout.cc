@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 
 namespace wormnet
@@ -33,7 +34,7 @@ TimeoutDetector::onRoutingFailed(NodeId router, PortId in_port,
         blockedSince_[idx] = now;
         return false;
     }
-    wn_assert(blockedSince_[idx] != kNever);
+    WORMNET_ASSERT(blockedSince_[idx] != kNever);
     return now - blockedSince_[idx] > params_.threshold;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 
 namespace wormnet
@@ -102,7 +103,7 @@ FaultModel::init(const Topology &topo, const RouterParams &rp,
 {
     topo_ = &topo;
     netPorts_ = topo.numNetPorts();
-    wn_assert(netPorts_ == rp.netPorts);
+    WORMNET_ASSERT(netPorts_ == rp.netPorts);
     rng_.reseed(seed);
 
     const NodeId n = topo.numNodes();
@@ -155,7 +156,7 @@ FaultModel::addLinkCause(NodeId node, PortId out_port, int delta)
     std::uint8_t &count =
         causeCount_[std::size_t(node) * netPorts_ + out_port];
     const bool was = count > 0;
-    wn_assert(delta > 0 || count > 0);
+    WORMNET_ASSERT(delta > 0 || count > 0);
     count = static_cast<std::uint8_t>(int(count) + delta);
     const bool is = count > 0;
     if (was == is)
@@ -165,7 +166,7 @@ FaultModel::addLinkCause(NodeId node, PortId out_port, int delta)
         ++activeLinks_;
     } else {
         faultyMask_[node] &= ~(PortMask(1) << out_port);
-        wn_assert(activeLinks_ > 0);
+        WORMNET_ASSERT(activeLinks_ > 0);
         --activeLinks_;
     }
     changes_.push_back(FaultChange{node, out_port, is});
@@ -216,9 +217,9 @@ void
 FaultModel::repairRouter(NodeId node)
 {
     ++repaired_;
-    wn_assert(routerFaulty_[node] > 0);
+    WORMNET_ASSERT(routerFaulty_[node] > 0);
     if (--routerFaulty_[node] == 0) {
-        wn_assert(activeRouters_ > 0);
+        WORMNET_ASSERT(activeRouters_ > 0);
         --activeRouters_;
     }
     for (unsigned d = 0; d < topo_->numDims(); ++d) {
@@ -235,7 +236,7 @@ FaultModel::repairRouter(NodeId node)
 bool
 FaultModel::tick(Cycle now)
 {
-    wn_assert(topo_ != nullptr && "FaultModel used before init()");
+    WORMNET_ASSERT(topo_ != nullptr && "FaultModel used before init()");
     changes_.clear();
 
     while (!repairs_.empty() && repairs_.top().when <= now) {

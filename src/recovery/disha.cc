@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 #include "sim/network.hh"
 
@@ -28,14 +29,14 @@ DishaRecovery::init(Network &net)
 void
 DishaRecovery::onDeadlockDetected(MsgId msg)
 {
-    wn_assert(net_ != nullptr);
+    WORMNET_ASSERT(net_ != nullptr);
     Message &m = net_->messages().get(msg);
-    wn_assert(m.status == MsgStatus::Active);
-    wn_assert(m.numLinks() > 0);
+    WORMNET_ASSERT(m.status == MsgStatus::Active);
+    WORMNET_ASSERT(m.numLinks() > 0);
 
     const PathLink head = m.headLink();
     InputVc &vc = net_->router(head.node).inputVc(head.port, head.vc);
-    wn_assert(vc.msg == msg);
+    WORMNET_ASSERT(vc.msg == msg);
     if (vc.routed)
         return; // advancing again; verdict is stale
 
@@ -65,7 +66,7 @@ DishaRecovery::grantTokens()
 void
 DishaRecovery::tick()
 {
-    wn_assert(net_ != nullptr);
+    WORMNET_ASSERT(net_ != nullptr);
     const Cycle now = net_->now();
 
     while (!deliveries_.empty() && deliveries_.top().when <= now) {
@@ -89,7 +90,7 @@ DishaRecovery::tick()
         }
         if (isTailFlit(type)) {
             Message &m = net_->messages().get(d.msg);
-            wn_assert(m.numLinks() == 0);
+            WORMNET_ASSERT(m.numLinks() == 0);
             const Cycle dist =
                 net_->topology().distance(d.headNode, m.dst);
             deliveries_.push(PendingDelivery{

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 #include "sim/network.hh"
 
@@ -27,14 +28,14 @@ ProgressiveRecovery::init(Network &net)
 void
 ProgressiveRecovery::onDeadlockDetected(MsgId msg)
 {
-    wn_assert(net_ != nullptr);
+    WORMNET_ASSERT(net_ != nullptr);
     Message &m = net_->messages().get(msg);
-    wn_assert(m.status == MsgStatus::Active);
-    wn_assert(m.numLinks() > 0);
+    WORMNET_ASSERT(m.status == MsgStatus::Active);
+    WORMNET_ASSERT(m.numLinks() > 0);
 
     const PathLink head = m.headLink();
     InputVc &vc = net_->router(head.node).inputVc(head.port, head.vc);
-    wn_assert(vc.msg == msg);
+    WORMNET_ASSERT(vc.msg == msg);
     if (vc.routed) {
         // Source-side mechanisms can raise verdicts on worms whose
         // header is actually advancing (injection stalled for
@@ -53,7 +54,7 @@ ProgressiveRecovery::onDeadlockDetected(MsgId msg)
 void
 ProgressiveRecovery::tick()
 {
-    wn_assert(net_ != nullptr);
+    WORMNET_ASSERT(net_ != nullptr);
     const Cycle now = net_->now();
 
     // Complete deliveries that reached their destination.
@@ -83,7 +84,7 @@ ProgressiveRecovery::tick()
             if (isTailFlit(type)) {
                 // Worm fully absorbed: deliver via recovery path.
                 Message &m = net_->messages().get(msg);
-                wn_assert(m.numLinks() == 0);
+                WORMNET_ASSERT(m.numLinks() == 0);
                 const Cycle dist = net_->topology().distance(
                     node, m.dst);
                 deliveries_.push(PendingDelivery{

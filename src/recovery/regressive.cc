@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 #include "sim/network.hh"
 
@@ -24,17 +25,17 @@ RegressiveRecovery::init(Network &net)
 void
 RegressiveRecovery::onDeadlockDetected(MsgId msg)
 {
-    wn_assert(net_ != nullptr);
+    WORMNET_ASSERT(net_ != nullptr);
     Message &m = net_->messages().get(msg);
-    wn_assert(m.status == MsgStatus::Active);
-    wn_assert(m.numLinks() > 0);
+    WORMNET_ASSERT(m.status == MsgStatus::Active);
+    WORMNET_ASSERT(m.numLinks() > 0);
 
     // Mark now so further verdicts this cycle are ignored; remove the
     // flits at tick() (after the switch phase) so the cycle's
     // transfers act on consistent state.
     const PathLink head = m.headLink();
     InputVc &vc = net_->router(head.node).inputVc(head.port, head.vc);
-    wn_assert(vc.msg == msg);
+    WORMNET_ASSERT(vc.msg == msg);
     m.status = MsgStatus::Recovering;
     net_->setHeadRecovering(msg);
     killList_.push_back(msg);
@@ -43,7 +44,7 @@ RegressiveRecovery::onDeadlockDetected(MsgId msg)
 void
 RegressiveRecovery::tick()
 {
-    wn_assert(net_ != nullptr);
+    WORMNET_ASSERT(net_ != nullptr);
     for (const MsgId msg : killList_) {
         const Message &m = net_->messages().get(msg);
         if (m.retries >= params_.maxRetries) {

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 #include "router/flit.hh"
@@ -23,7 +24,7 @@ class FlitFifo
     explicit FlitFifo(std::size_t capacity = 4)
         : buf_(capacity)
     {
-        wn_assert(capacity >= 1);
+        WORMNET_ASSERT(capacity >= 1);
     }
 
     std::size_t capacity() const { return buf_.size(); }
@@ -34,7 +35,7 @@ class FlitFifo
     void
     push(const Flit &flit)
     {
-        wn_assert(!full());
+        WORMNET_ASSERT(!full());
         buf_[(head_ + size_) % buf_.size()] = flit;
         ++size_;
     }
@@ -42,14 +43,14 @@ class FlitFifo
     const Flit &
     front() const
     {
-        wn_assert(!empty());
+        WORMNET_ASSERT(!empty());
         return buf_[head_];
     }
 
     Flit
     pop()
     {
-        wn_assert(!empty());
+        WORMNET_ASSERT(!empty());
         Flit f = buf_[head_];
         head_ = (head_ + 1) % buf_.size();
         --size_;

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -82,7 +83,7 @@ struct Message
     void
     popFrontLink()
     {
-        wn_assert(frontIdx_ < links_.size());
+        WORMNET_ASSERT(frontIdx_ < links_.size());
         ++frontIdx_;
         if (frontIdx_ == links_.size()) {
             links_.clear();
@@ -96,7 +97,7 @@ struct Message
     const PathLink &
     link(std::size_t i) const
     {
-        wn_assert(frontIdx_ + i < links_.size());
+        WORMNET_ASSERT(frontIdx_ + i < links_.size());
         return links_[frontIdx_ + i];
     }
 
@@ -104,7 +105,7 @@ struct Message
     const PathLink &
     headLink() const
     {
-        wn_assert(numLinks() > 0);
+        WORMNET_ASSERT(numLinks() > 0);
         return links_.back();
     }
 
@@ -145,14 +146,14 @@ class MessageStore
     Message &
     get(MsgId id)
     {
-        wn_assert(id < messages_.size());
+        WORMNET_ASSERT(id < messages_.size());
         return messages_[id];
     }
 
     const Message &
     get(MsgId id) const
     {
-        wn_assert(id < messages_.size());
+        WORMNET_ASSERT(id < messages_.size());
         return messages_[id];
     }
 

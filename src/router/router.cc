@@ -1,14 +1,16 @@
 #include "router/router.hh"
 
+#include "common/contracts.hh"
+
 namespace wormnet
 {
 
 Router::Router(NodeId node, const RouterParams &params)
     : node_(node), params_(params)
 {
-    wn_assert(params.vcs >= 1);
-    wn_assert(params.bufDepth >= 1);
-    wn_assert(params.numOutPorts() <= 32,
+    WORMNET_ASSERT(params.vcs >= 1);
+    WORMNET_ASSERT(params.bufDepth >= 1);
+    WORMNET_ASSERT(params.numOutPorts() <= 32,
               " (PortMask is 32 bits wide)");
 
     inputVcs_.reserve(params.numInPorts() * params.vcs);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "common/contracts.hh"
 #include "router/channel.hh"
 
 namespace wormnet
@@ -77,28 +78,28 @@ class Router
     InputVc &
     inputVc(PortId port, VcId vc)
     {
-        wn_assert(port < numInPorts() && vc < params_.vcs);
+        WORMNET_ASSERT(port < numInPorts() && vc < params_.vcs);
         return inputVcs_[port * params_.vcs + vc];
     }
 
     const InputVc &
     inputVc(PortId port, VcId vc) const
     {
-        wn_assert(port < numInPorts() && vc < params_.vcs);
+        WORMNET_ASSERT(port < numInPorts() && vc < params_.vcs);
         return inputVcs_[port * params_.vcs + vc];
     }
 
     OutputVc &
     outputVc(PortId port, VcId vc)
     {
-        wn_assert(port < numOutPorts() && vc < params_.vcs);
+        WORMNET_ASSERT(port < numOutPorts() && vc < params_.vcs);
         return outputVcs_[port * params_.vcs + vc];
     }
 
     const OutputVc &
     outputVc(PortId port, VcId vc) const
     {
-        wn_assert(port < numOutPorts() && vc < params_.vcs);
+        WORMNET_ASSERT(port < numOutPorts() && vc < params_.vcs);
         return outputVcs_[port * params_.vcs + vc];
     }
 

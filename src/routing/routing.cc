@@ -1,5 +1,6 @@
 #include "routing/routing.hh"
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 
 namespace wormnet
@@ -9,7 +10,7 @@ RoutingFunction::RoutingFunction(const Topology &topo,
                                  const RouterParams &params)
     : topo_(topo), params_(params)
 {
-    wn_assert(params.netPorts == topo.numNetPorts());
+    WORMNET_ASSERT(params.netPorts == topo.numNetPorts());
 }
 
 std::uint32_t
@@ -34,7 +35,7 @@ RoutingFunction::route(NodeId current, NodeId dst, PortId in_port,
         return;
     }
     networkCandidates(current, dst, in_port, in_vc, out);
-    wn_assert(!out.empty(), " no route from ", current, " to ", dst);
+    WORMNET_ASSERT(!out.empty(), " no route from ", current, " to ", dst);
 }
 
 void

@@ -71,6 +71,17 @@ class RoutingFunction
      */
     virtual bool usesAllVcsUniformly() const = 0;
 
+    /**
+     * Number of virtual channels (per physical channel, counting
+     * from VC 0) that form the deadlock-free escape layer the
+     * static CDG analyzer must certify. Algorithms without a
+     * distinguished escape layer return the full VC count: the
+     * routing relation is then its own "escape subfunction" and the
+     * analyzer's Duato condition degenerates to plain
+     * channel-dependency-graph acyclicity.
+     */
+    virtual unsigned escapeVcCount() const { return params_.vcs; }
+
     virtual std::string name() const = 0;
 
   protected:
@@ -152,6 +163,8 @@ class DuatoProtocolRouting : public RoutingFunction
 
     /** VCs reserved for the escape layer (2 on tori, 1 on meshes). */
     unsigned escapeVcs() const { return escapeVcs_; }
+
+    unsigned escapeVcCount() const override { return escapeVcs_; }
 
   protected:
     void networkCandidates(NodeId current, NodeId dst, PortId in_port,

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 #include "fault/fault.hh"
 #include "recovery/recovery.hh"
@@ -92,8 +93,13 @@ Network::Network(const Topology &topo, const NetworkParams &params,
     candScratch_.reserve(outPorts_);
     freeScratch_.reserve(std::size_t(outPorts_) * vcs_);
 
-    const char *check = std::getenv("WORMNET_CHECK_ACTIVE_SETS");
-    checkActiveSets_ = check != nullptr && std::strcmp(check, "0") != 0;
+    // Full-level contract builds (WORMNET_CONTRACTS=full) run the
+    // brute-force active-set cross-check every cycle by default; the
+    // WORMNET_CHECK_ACTIVE_SETS environment variable overrides in
+    // either direction on any build.
+    checkActiveSets_ = WORMNET_INVARIANT_ENABLED;
+    if (const char *check = std::getenv("WORMNET_CHECK_ACTIVE_SETS"))
+        checkActiveSets_ = std::strcmp(check, "0") != 0;
 
     DetectorContext ctx;
     ctx.numRouters = n;
@@ -131,8 +137,8 @@ Network::setFlitRate(double flit_rate)
 MsgId
 Network::injectMessage(NodeId src, NodeId dst, unsigned length)
 {
-    wn_assert(src < numNodes() && dst < numNodes());
-    wn_assert(length >= 1);
+    WORMNET_ASSERT(src < numNodes() && dst < numNodes());
+    WORMNET_ASSERT(length >= 1);
     const MsgId id =
         messages_.create(src, dst, length, now_, measuring_);
     ++stats_.generated;
@@ -179,7 +185,7 @@ Network::allocOutputVc(NodeId node, PortId port, VcId vc, MsgId msg,
                        PortId src_port, VcId src_vc)
 {
     OutputVc &out = routers_[node].outputVc(port, vc);
-    wn_assert(!out.allocated);
+    WORMNET_ASSERT(!out.allocated);
     out.allocated = true;
     out.msg = msg;
     out.srcPort = src_port;
@@ -197,7 +203,7 @@ void
 Network::releaseOutputVc(NodeId node, PortId port, VcId vc)
 {
     OutputVc &out = routers_[node].outputVc(port, vc);
-    wn_assert(out.allocated);
+    WORMNET_ASSERT(out.allocated);
     out.release();
     if (--allocPerPort_[std::size_t(node) * outPorts_ + port] == 0)
         allocOutMask_[node] &= ~(PortMask(1) << port);
@@ -282,7 +288,7 @@ Network::step()
     for (const auto &cr : creditReturns_) {
         OutputVc &o = routers_[cr.node].outputVc(cr.port, cr.vc);
         ++o.credits;
-        wn_assert(o.credits <= routerParams_.bufDepth);
+        WORMNET_ASSERT(o.credits <= routerParams_.bufDepth);
     }
     creditReturns_.clear();
 
@@ -291,7 +297,7 @@ Network::step()
         for (const auto &cr : creditReturns_) {
             OutputVc &o = routers_[cr.node].outputVc(cr.port, cr.vc);
             ++o.credits;
-            wn_assert(o.credits <= routerParams_.bufDepth);
+            WORMNET_ASSERT(o.credits <= routerParams_.bufDepth);
         }
         creditReturns_.clear();
     }
@@ -368,8 +374,8 @@ Network::scanForStrandedWorms()
                     // channel.
                     const OutputVc &out =
                         rt.outputVc(vc.outPort, vc.outVc);
-                    wn_assert(out.allocated && out.msg == vc.msg);
-                    wn_assert(out.credits == routerParams_.bufDepth);
+                    WORMNET_ASSERT(out.allocated && out.msg == vc.msg);
+                    WORMNET_ASSERT(out.credits == routerParams_.bufDepth);
                     releaseOutputVc(node, vc.outPort, vc.outVc);
                     vc.routed = false;
                     vc.outPort = kInvalidPort;
@@ -428,7 +434,7 @@ Network::generateAndInject()
         const MsgId id = pendingReinjects_.top().msg;
         pendingReinjects_.pop();
         Message &m = messages_.get(id);
-        wn_assert(m.status == MsgStatus::Killed);
+        WORMNET_ASSERT(m.status == MsgStatus::Killed);
         m.status = MsgStatus::Queued;
         trace(TraceEvent::Reinjected, id, m.src);
         pushSource(m.src, id, true);
@@ -534,7 +540,7 @@ Network::tryStartInjection(NodeId node)
 
         const MsgId id = popSource(node);
         Message &m = messages_.get(id);
-        wn_assert(m.status == MsgStatus::Queued);
+        WORMNET_ASSERT(m.status == MsgStatus::Queued);
         m.status = MsgStatus::Active;
         m.injectStartCycle = now_;
         m.lastInjectCycle = now_;
@@ -633,7 +639,7 @@ Network::routeOne(Router &rt, PortId port, VcId v,
             params_.selection == VcSelection::Random
                 ? freeScratch_[rng_.nextBounded(freeScratch_.size())]
                 : freeScratch_.front();
-        wn_assert(rt.outputVc(pick.port, pick.vc).credits ==
+        WORMNET_ASSERT(rt.outputVc(pick.port, pick.vc).credits ==
                   routerParams_.bufDepth);
         allocOutputVc(rt.nodeId(), pick.port, pick.vc, vc.msg, port,
                       v);
@@ -728,7 +734,7 @@ Network::switchAll()
                     continue;
                 const InputVc &vc =
                     rt.inputVc(out.srcPort, out.srcVc);
-                wn_assert(vc.routed && vc.outPort == q);
+                WORMNET_ASSERT(vc.routed && vc.outPort == q);
                 if (vc.recovering || vc.fifo.empty())
                     continue;
                 if (vc.allocCycle >= now_)
@@ -736,7 +742,7 @@ Network::switchAll()
                 const Flit &f = vc.fifo.front();
                 if (f.readyAt > now_)
                     continue;
-                wn_assert(f.msg == out.msg);
+                WORMNET_ASSERT(f.msg == out.msg);
                 winner = static_cast<int>(v2);
                 break;
             }
@@ -762,7 +768,7 @@ Network::transferFlit(Router &rt, PortId out_port, PortId in_port,
     const VcId out_vc = vc.outVc;
     OutputVc &out = rt.outputVc(out_port, out_vc);
 
-    wn_assert(!portFaulty(rt.nodeId(), out_port));
+    WORMNET_ASSERT(!portFaulty(rt.nodeId(), out_port));
     const Flit f = popFlit(rt, in_port, in_vc);
     rt.noteTx(out_port, now_);
     ++txCount_[std::size_t(rt.nodeId()) *
@@ -782,10 +788,10 @@ Network::transferFlit(Router &rt, PortId out_port, PortId in_port,
         return;
     }
 
-    wn_assert(out.credits > 0);
+    WORMNET_ASSERT(out.credits > 0);
     --out.credits;
     const LinkEnd &down = rt.downstream(out_port);
-    wn_assert(down.valid());
+    WORMNET_ASSERT(down.valid());
     enqueueFlit(routers_[down.node], down.port, out_vc,
                 Flit{f.msg, f.type, now_ + 1});
     if (isTailFlit(f.type))
@@ -804,9 +810,9 @@ Network::popFlit(Router &rt, PortId port, VcId v)
 
     if (isTailFlit(f.type)) {
         Message &m = messages_.get(f.msg);
-        wn_assert(m.numLinks() > 0);
+        WORMNET_ASSERT(m.numLinks() > 0);
         const PathLink &oldest = m.link(0);
-        wn_assert(oldest.node == rt.nodeId() &&
+        WORMNET_ASSERT(oldest.node == rt.nodeId() &&
                   oldest.port == port && oldest.vc == v);
         m.popFrontLink();
         releaseInputVc(rt.nodeId(), port, v);
@@ -820,7 +826,7 @@ Network::enqueueFlit(Router &rt, PortId port, VcId v,
 {
     InputVc &vc = rt.inputVc(port, v);
     if (isHeadFlit(flit.type)) {
-        wn_assert(vc.free() && vc.fifo.empty());
+        WORMNET_ASSERT(vc.free() && vc.fifo.empty());
         vc.msg = flit.msg;
         messages_.get(flit.msg).pushLink(rt.nodeId(), port, v);
         syncRoutable(rt.nodeId(), port, v);
@@ -829,7 +835,7 @@ Network::enqueueFlit(Router &rt, PortId port, VcId v,
             injActive_.insert(rt.nodeId());
         }
     }
-    wn_assert(vc.msg == flit.msg);
+    WORMNET_ASSERT(vc.msg == flit.msg);
     vc.fifo.push(flit);
 }
 
@@ -837,8 +843,8 @@ void
 Network::markDelivered(MsgId msg, bool via_recovery)
 {
     Message &m = messages_.get(msg);
-    wn_assert(m.numLinks() == 0);
-    wn_assert(m.status == MsgStatus::Active ||
+    WORMNET_ASSERT(m.numLinks() == 0);
+    WORMNET_ASSERT(m.status == MsgStatus::Active ||
               m.status == MsgStatus::Recovering);
     m.status = MsgStatus::Delivered;
     m.deliverCycle = now_;
@@ -846,7 +852,7 @@ Network::markDelivered(MsgId msg, bool via_recovery)
                        : TraceEvent::Delivered,
           msg, m.dst);
     ++stats_.delivered;
-    wn_assert(inFlight_ > 0);
+    WORMNET_ASSERT(inFlight_ > 0);
     --inFlight_;
     if (via_recovery) {
         m.recovered = true;
@@ -871,7 +877,7 @@ Network::markDelivered(MsgId msg, bool via_recovery)
 void
 Network::releaseWorm(Message &m)
 {
-    wn_assert(m.status == MsgStatus::Active ||
+    WORMNET_ASSERT(m.status == MsgStatus::Active ||
               m.status == MsgStatus::Recovering);
 
     // A worm killed while its header is routed (possible with
@@ -895,7 +901,7 @@ Network::releaseWorm(Message &m)
         const PathLink &link = m.link(i);
         Router &rt = routers_[link.node];
         InputVc &vc = rt.inputVc(link.port, link.vc);
-        wn_assert(vc.msg == m.id);
+        WORMNET_ASSERT(vc.msg == m.id);
 
         const LinkEnd &up = rt.upstream(link.port);
         if (up.valid()) {
@@ -914,7 +920,7 @@ Network::releaseWorm(Message &m)
     m.clearLinks();
     m.flitsInjected = 0;
     m.flitsEjected = 0;
-    wn_assert(inFlight_ > 0);
+    WORMNET_ASSERT(inFlight_ > 0);
     --inFlight_;
 }
 
@@ -922,10 +928,10 @@ void
 Network::setHeadRecovering(MsgId msg)
 {
     const Message &m = messages_.get(msg);
-    wn_assert(m.numLinks() > 0);
+    WORMNET_ASSERT(m.numLinks() > 0);
     const PathLink head = m.headLink();
     InputVc &vc = routers_[head.node].inputVc(head.port, head.vc);
-    wn_assert(vc.msg == msg);
+    WORMNET_ASSERT(vc.msg == msg);
     vc.recovering = true;
     syncRoutable(head.node, head.port, head.vc);
 }
@@ -958,12 +964,12 @@ bool
 Network::drainHeaderFlit(MsgId msg, FlitType &type)
 {
     Message &m = messages_.get(msg);
-    wn_assert(m.status == MsgStatus::Recovering);
-    wn_assert(m.numLinks() > 0);
+    WORMNET_ASSERT(m.status == MsgStatus::Recovering);
+    WORMNET_ASSERT(m.numLinks() > 0);
     const PathLink head = m.headLink();
     Router &rt = routers_[head.node];
     InputVc &vc = rt.inputVc(head.port, head.vc);
-    wn_assert(vc.msg == msg && vc.recovering);
+    WORMNET_ASSERT(vc.msg == msg && vc.recovering);
     if (vc.fifo.empty() || vc.fifo.front().readyAt > now_)
         return false;
     const Flit f = popFlit(rt, head.port, head.vc);
@@ -1067,12 +1073,25 @@ Network::oracleTick()
     deadlockFirstSeen_ = std::move(next);
 }
 
+// The cross-check must fire whenever the runtime flag is on — even
+// on builds whose compile-time contract level stripped the check
+// macros — so it uses its own always-on check.
+#define ACTIVE_SET_CHECK(cond)                                         \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            panic("active-set cross-check failed: ", #cond, " at ",    \
+                  __FILE__, ":", __LINE__);                            \
+        }                                                              \
+    } while (0)
+
 void
 Network::verifyActiveSets() const
 {
     // Brute-force recomputation of every incrementally maintained
-    // structure; enabled with WORMNET_CHECK_ACTIVE_SETS=1. Runs at
-    // the end of step(), when all sets are expected to be coherent.
+    // structure; the full contract level (WORMNET_CONTRACTS=full)
+    // enables it by default and WORMNET_CHECK_ACTIVE_SETS=1 forces
+    // it on any build. Runs at the end of step(), when all sets are
+    // expected to be coherent.
     std::size_t queued = 0;
     std::size_t tx_nodes = 0;
     for (NodeId node = 0; node < numNodes(); ++node) {
@@ -1089,18 +1108,18 @@ Network::verifyActiveSets() const
                 const InputVc &vc = rt.inputVc(p, v);
                 const bool want = vc.msg != kInvalidMsg &&
                                   !vc.routed && !vc.recovering;
-                wn_assert(vc.inRouteSet == want);
+                ACTIVE_SET_CHECK(vc.inRouteSet == want);
                 if (want)
                     ++port_routable;
                 if (p >= netPorts_ && vc.msg != kInvalidMsg)
                     ++inj_busy;
             }
-            wn_assert(routablePerPort_[std::size_t(node) * inPorts_ +
+            ACTIVE_SET_CHECK(routablePerPort_[std::size_t(node) * inPorts_ +
                                        p] == port_routable);
             node_routable += port_routable;
         }
-        wn_assert(routablePerNode_[node] == node_routable);
-        wn_assert(routeActive_.contains(node) ==
+        ACTIVE_SET_CHECK(routablePerNode_[node] == node_routable);
+        ACTIVE_SET_CHECK(routeActive_.contains(node) ==
                   (node_routable > 0));
 
         unsigned node_alloc = 0;
@@ -1115,29 +1134,29 @@ Network::verifyActiveSets() const
                         ++net_alloc;
                 }
             }
-            wn_assert(allocPerPort_[std::size_t(node) * outPorts_ +
+            ACTIVE_SET_CHECK(allocPerPort_[std::size_t(node) * outPorts_ +
                                     q] == port_alloc);
             if (port_alloc > 0)
                 mask |= PortMask(1) << q;
             node_alloc += port_alloc;
         }
-        wn_assert(allocOutMask_[node] == mask);
-        wn_assert(allocPerNode_[node] == node_alloc);
-        wn_assert(switchActive_.contains(node) == (node_alloc > 0));
-        wn_assert(netAllocPerNode_[node] == net_alloc);
+        ACTIVE_SET_CHECK(allocOutMask_[node] == mask);
+        ACTIVE_SET_CHECK(allocPerNode_[node] == node_alloc);
+        ACTIVE_SET_CHECK(switchActive_.contains(node) == (node_alloc > 0));
+        ACTIVE_SET_CHECK(netAllocPerNode_[node] == net_alloc);
 
-        wn_assert(injVcBusy_[node] == inj_busy);
-        wn_assert(injActive_.contains(node) ==
+        ACTIVE_SET_CHECK(injVcBusy_[node] == inj_busy);
+        ACTIVE_SET_CHECK(injActive_.contains(node) ==
                   (!sourceQueues_[node].empty() || inj_busy > 0));
 
         // detActive_ is checked for soundness, not exact equality: it
         // may hold an idle node for one trailing cycle-end call, but
         // must cover every node the detector still needs to see.
         if (node_alloc > 0 || txMask_[node] != 0)
-            wn_assert(detActive_.contains(node));
+            ACTIVE_SET_CHECK(detActive_.contains(node));
     }
-    wn_assert(totalQueuedCount_ == queued);
-    wn_assert(txNodes_.size() == tx_nodes);
+    ACTIVE_SET_CHECK(totalQueuedCount_ == queued);
+    ACTIVE_SET_CHECK(txNodes_.size() == tx_nodes);
 }
 
 } // namespace wormnet

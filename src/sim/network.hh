@@ -338,8 +338,10 @@ class Network
     MsgId popSource(NodeId node);
 
     /** Cross-check every active set against a brute-force scan
-     *  (enabled via the WORMNET_CHECK_ACTIVE_SETS environment
-     *  variable; panics on the first divergence). */
+     *  (a full-level structural invariant: on by default when built
+     *  with WORMNET_CONTRACTS=full, and forced on/off by the
+     *  WORMNET_CHECK_ACTIVE_SETS environment variable; panics on
+     *  the first divergence). */
     void verifyActiveSets() const;
     /// @}
 

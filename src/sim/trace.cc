@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 
 namespace wormnet
@@ -41,7 +42,7 @@ traceEventName(TraceEvent event)
 
 Tracer::Tracer(std::size_t capacity) : buf_(capacity)
 {
-    wn_assert(capacity >= 1);
+    WORMNET_ASSERT(capacity >= 1);
 }
 
 void
@@ -60,7 +61,7 @@ Tracer::record(Cycle cycle, TraceEvent event, MsgId msg, NodeId node,
 const TraceRecord &
 Tracer::at(std::size_t i) const
 {
-    wn_assert(i < size_);
+    WORMNET_ASSERT(i < size_);
     return buf_[(head_ + i) % buf_.size()];
 }
 

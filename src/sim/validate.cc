@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 #include "sim/network.hh"
 
@@ -20,14 +21,14 @@ checkFifoOwnership(const InputVc &vc, NodeId node, PortId port,
     // Ring-buffer walk via copy-free inspection is not exposed;
     // instead verify the cheap invariants and use size().
     if (vc.free()) {
-        wn_assert(vc.fifo.empty(), " occupied FIFO on free VC at ",
+        WORMNET_ASSERT(vc.fifo.empty(), " occupied FIFO on free VC at ",
                   node, ":", port, ":", unsigned(v));
-        wn_assert(!vc.routed, " routing decision on free VC at ",
+        WORMNET_ASSERT(!vc.routed, " routing decision on free VC at ",
                   node, ":", port, ":", unsigned(v));
         return 0;
     }
     if (!vc.fifo.empty()) {
-        wn_assert(vc.fifo.front().msg == vc.msg,
+        WORMNET_ASSERT(vc.fifo.front().msg == vc.msg,
                   " foreign flit in VC at ", node, ":", port, ":",
                   unsigned(v));
     }
@@ -56,25 +57,25 @@ validateNetworkInvariants(const Network &net)
                     checkFifoOwnership(vc, node, p, v);
                 if (vc.free())
                     continue;
-                wn_assert(vc.msg < msgs.size());
+                WORMNET_ASSERT(vc.msg < msgs.size());
                 ++vc_count[vc.msg];
                 flit_count[vc.msg] += flits;
 
                 if (vc.routed) {
                     const OutputVc &out =
                         rt.outputVc(vc.outPort, vc.outVc);
-                    wn_assert(out.allocated,
+                    WORMNET_ASSERT(out.allocated,
                               " routed VC points at unallocated "
                               "output at ",
                               node, ":", p, ":", unsigned(v));
-                    wn_assert(out.msg == vc.msg);
-                    wn_assert(out.srcPort == p &&
+                    WORMNET_ASSERT(out.msg == vc.msg);
+                    WORMNET_ASSERT(out.srcPort == p &&
                               out.srcVc == v);
                     // Fault hygiene: a routing decision pointing at
                     // a dead link should have been backed out (head
                     // not crossed) or killed (worm straddling it)
                     // the moment the fault struck.
-                    wn_assert(!net.portFaulty(node, vc.outPort),
+                    WORMNET_ASSERT(!net.portFaulty(node, vc.outPort),
                               " routed VC points at faulted port at ",
                               node, ":", p, ":", unsigned(v));
                 }
@@ -85,7 +86,7 @@ validateNetworkInvariants(const Network &net)
             for (VcId v = 0; v < rp.vcs; ++v) {
                 const OutputVc &out = rt.outputVc(q, v);
                 if (rt.isEjectionPort(q)) {
-                    wn_assert(out.credits == rp.bufDepth,
+                    WORMNET_ASSERT(out.credits == rp.bufDepth,
                               " ejection credits drifted at ", node,
                               ":", q);
                 } else {
@@ -94,14 +95,14 @@ validateNetworkInvariants(const Network &net)
                         const InputVc &dvc =
                             net.router(down.node).inputVc(down.port,
                                                           v);
-                        wn_assert(out.credits ==
+                        WORMNET_ASSERT(out.credits ==
                                       rp.bufDepth - dvc.fifo.size(),
                                   " credit mismatch at ", node, ":",
                                   q, ":", unsigned(v), " credits=",
                                   out.credits, " downstream size=",
                                   dvc.fifo.size());
                         if (out.allocated) {
-                            wn_assert(dvc.msg == out.msg ||
+                            WORMNET_ASSERT(dvc.msg == out.msg ||
                                           dvc.free(),
                                       " downstream worm mismatch at ",
                                       node, ":", q, ":", unsigned(v));
@@ -110,16 +111,16 @@ validateNetworkInvariants(const Network &net)
                 }
                 if (!out.allocated)
                     continue;
-                wn_assert(!net.portFaulty(node, q),
+                WORMNET_ASSERT(!net.portFaulty(node, q),
                           " allocation survives on faulted link at ",
                           node, ":", q, ":", unsigned(v));
                 const InputVc &src =
                     rt.inputVc(out.srcPort, out.srcVc);
-                wn_assert(src.routed && src.outPort == q &&
+                WORMNET_ASSERT(src.routed && src.outPort == q &&
                               src.outVc == v,
                           " allocation back-pointer broken at ",
                           node, ":", q, ":", unsigned(v));
-                wn_assert(src.msg == out.msg);
+                WORMNET_ASSERT(src.msg == out.msg);
             }
         }
     }
@@ -132,20 +133,20 @@ validateNetworkInvariants(const Network &net)
           case MsgStatus::Killed:
           case MsgStatus::Delivered:
           case MsgStatus::Abandoned:
-            wn_assert(m.numLinks() == 0, " message ", id,
+            WORMNET_ASSERT(m.numLinks() == 0, " message ", id,
                       " holds links in status ",
                       unsigned(m.status));
-            wn_assert(vc_count[id] == 0, " message ", id,
+            WORMNET_ASSERT(vc_count[id] == 0, " message ", id,
                       " occupies VCs in status ",
                       unsigned(m.status));
             break;
           case MsgStatus::Active:
           case MsgStatus::Recovering: {
-            wn_assert(m.numLinks() == vc_count[id], " message ", id,
+            WORMNET_ASSERT(m.numLinks() == vc_count[id], " message ", id,
                       " links=", m.numLinks(),
                       " but occupies ", vc_count[id], " VCs");
-            wn_assert(m.flitsInjected >= m.flitsEjected);
-            wn_assert(m.flitsInjected - m.flitsEjected ==
+            WORMNET_ASSERT(m.flitsInjected >= m.flitsEjected);
+            WORMNET_ASSERT(m.flitsInjected - m.flitsEjected ==
                           flit_count[id],
                       " message ", id, " flit conservation: ",
                       m.flitsInjected, " injected, ",
@@ -159,9 +160,9 @@ validateNetworkInvariants(const Network &net)
                 const PathLink &cur = m.link(i);
                 const LinkEnd &up =
                     net.router(cur.node).upstream(cur.port);
-                wn_assert(up.valid(), " mid-chain link of message ",
+                WORMNET_ASSERT(up.valid(), " mid-chain link of message ",
                           id, " arrived through an injection port");
-                wn_assert(up.node == prev.node, " broken chain for "
+                WORMNET_ASSERT(up.node == prev.node, " broken chain for "
                           "message ", id, " at hop ", i);
             }
             break;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 
 namespace wormnet
@@ -31,16 +32,16 @@ KAryNMesh::KAryNMesh(unsigned radix, unsigned dims)
 unsigned
 KAryNMesh::coordinate(NodeId node, unsigned dim) const
 {
-    wn_assert(node < numNodes_);
-    wn_assert(dim < dims_);
+    WORMNET_ASSERT(node < numNodes_);
+    WORMNET_ASSERT(dim < dims_);
     return (node / stride_[dim]) % radix_;
 }
 
 NodeId
 KAryNMesh::neighbor(NodeId node, unsigned dim, bool positive) const
 {
-    wn_assert(node < numNodes_);
-    wn_assert(dim < dims_);
+    WORMNET_ASSERT(node < numNodes_);
+    WORMNET_ASSERT(dim < dims_);
     const unsigned c = coordinate(node, dim);
     if (positive) {
         if (c + 1 >= radix_)
@@ -56,7 +57,7 @@ void
 KAryNMesh::minimalSteps(NodeId src, NodeId dst,
                         MinimalSteps &steps) const
 {
-    wn_assert(src < numNodes_ && dst < numNodes_);
+    WORMNET_ASSERT(src < numNodes_ && dst < numNodes_);
     for (unsigned d = 0; d < dims_; ++d) {
         const unsigned sc = coordinate(src, d);
         const unsigned dc = coordinate(dst, d);

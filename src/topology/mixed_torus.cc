@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 
 namespace wormnet
@@ -34,15 +35,15 @@ MixedRadixTorus::MixedRadixTorus(std::vector<unsigned> radices)
 unsigned
 MixedRadixTorus::radixOf(unsigned dim) const
 {
-    wn_assert(dim < radices_.size());
+    WORMNET_ASSERT(dim < radices_.size());
     return radices_[dim];
 }
 
 unsigned
 MixedRadixTorus::coordinate(NodeId node, unsigned dim) const
 {
-    wn_assert(node < numNodes_);
-    wn_assert(dim < radices_.size());
+    WORMNET_ASSERT(node < numNodes_);
+    WORMNET_ASSERT(dim < radices_.size());
     return (node / stride_[dim]) % radices_[dim];
 }
 
@@ -50,8 +51,8 @@ NodeId
 MixedRadixTorus::neighbor(NodeId node, unsigned dim,
                           bool positive) const
 {
-    wn_assert(node < numNodes_);
-    wn_assert(dim < radices_.size());
+    WORMNET_ASSERT(node < numNodes_);
+    WORMNET_ASSERT(dim < radices_.size());
     const unsigned k = radices_[dim];
     const unsigned c = coordinate(node, dim);
     const unsigned nc = positive ? (c + 1) % k : (c + k - 1) % k;
@@ -62,7 +63,7 @@ void
 MixedRadixTorus::minimalSteps(NodeId src, NodeId dst,
                               MinimalSteps &steps) const
 {
-    wn_assert(src < numNodes_ && dst < numNodes_);
+    WORMNET_ASSERT(src < numNodes_ && dst < numNodes_);
     for (unsigned d = 0; d < radices_.size(); ++d) {
         const unsigned k = radices_[d];
         const unsigned sc = coordinate(src, d);

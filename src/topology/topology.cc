@@ -1,5 +1,12 @@
 #include "topology/topology.hh"
 
+#include <sstream>
+
+#include "common/log.hh"
+#include "topology/mesh.hh"
+#include "topology/mixed_torus.hh"
+#include "topology/torus.hh"
+
 namespace wormnet
 {
 
@@ -12,6 +19,34 @@ Topology::distance(NodeId src, NodeId dst) const
     for (unsigned d = 0; d < numDims(); ++d)
         total += steps[d].hops;
     return total;
+}
+
+std::unique_ptr<Topology>
+makeTopology(const std::string &name, unsigned radix, unsigned dims,
+             const std::string &radices)
+{
+    if (!radices.empty()) {
+        if (name != "torus")
+            fatal("mixed radices are only supported on tori");
+        std::vector<unsigned> parsed;
+        std::stringstream ss(radices);
+        std::string item;
+        while (std::getline(ss, item, 'x')) {
+            try {
+                parsed.push_back(
+                    static_cast<unsigned>(std::stoul(item)));
+            } catch (const std::exception &) {
+                fatal("malformed radices spec '", radices,
+                      "': expected e.g. \"8x4x2\"");
+            }
+        }
+        return std::make_unique<MixedRadixTorus>(std::move(parsed));
+    }
+    if (name == "torus")
+        return std::make_unique<KAryNCube>(radix, dims);
+    if (name == "mesh")
+        return std::make_unique<KAryNMesh>(radix, dims);
+    fatal("unknown topology '", name, "'");
 }
 
 } // namespace wormnet

@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -128,6 +129,21 @@ class Topology
         return static_cast<PortId>(out_port ^ 1u);
     }
 };
+
+/**
+ * Build a topology from a declarative description:
+ *   name     "torus" | "mesh"
+ *   radix    nodes per dimension
+ *   dims     number of dimensions
+ *   radices  mixed-radix override such as "8x4x2" (torus only);
+ *            when non-empty it supersedes radix/dims.
+ * fatal() on unknown names, malformed radices or mixed-radix meshes.
+ * Shared by the Simulation facade and the wormnet-analyze CLI so
+ * both accept the same configuration surface.
+ */
+std::unique_ptr<Topology>
+makeTopology(const std::string &name, unsigned radix, unsigned dims,
+             const std::string &radices = "");
 
 } // namespace wormnet
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 
 namespace wormnet
@@ -31,16 +32,16 @@ KAryNCube::KAryNCube(unsigned radix, unsigned dims)
 unsigned
 KAryNCube::coordinate(NodeId node, unsigned dim) const
 {
-    wn_assert(node < numNodes_);
-    wn_assert(dim < dims_);
+    WORMNET_ASSERT(node < numNodes_);
+    WORMNET_ASSERT(dim < dims_);
     return (node / stride_[dim]) % radix_;
 }
 
 NodeId
 KAryNCube::neighbor(NodeId node, unsigned dim, bool positive) const
 {
-    wn_assert(node < numNodes_);
-    wn_assert(dim < dims_);
+    WORMNET_ASSERT(node < numNodes_);
+    WORMNET_ASSERT(dim < dims_);
     const unsigned c = coordinate(node, dim);
     const unsigned nc =
         positive ? (c + 1) % radix_ : (c + radix_ - 1) % radix_;
@@ -51,7 +52,7 @@ void
 KAryNCube::minimalSteps(NodeId src, NodeId dst,
                         MinimalSteps &steps) const
 {
-    wn_assert(src < numNodes_ && dst < numNodes_);
+    WORMNET_ASSERT(src < numNodes_ && dst < numNodes_);
     for (unsigned d = 0; d < dims_; ++d) {
         const unsigned sc = coordinate(src, d);
         const unsigned dc = coordinate(dst, d);

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/log.hh"
 
 namespace wormnet
@@ -83,7 +84,7 @@ LocalityPattern::LocalityPattern(const Topology &topo, unsigned radius)
     std::vector<int> current(topo.numDims(), 0);
     enumerateOffsets(topo.numDims(), 0, static_cast<int>(radius),
                      current, offsets_);
-    wn_assert(!offsets_.empty());
+    WORMNET_ASSERT(!offsets_.empty());
 }
 
 NodeId
@@ -165,7 +166,7 @@ HotSpotPattern::HotSpotPattern(std::unique_ptr<TrafficPattern> base,
     : base_(std::move(base)), hotNode_(hot_node),
       hotFraction_(hot_fraction)
 {
-    wn_assert(base_ != nullptr);
+    WORMNET_ASSERT(base_ != nullptr);
     if (hot_fraction < 0.0 || hot_fraction > 1.0)
         fatal("hotspot fraction must be in [0,1], got ", hot_fraction);
 }

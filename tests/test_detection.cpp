@@ -185,6 +185,80 @@ TEST(Ndm, RoutedAndFreedResetToPropagate)
     EXPECT_FALSE(det.gpFlag(0, 2));
 }
 
+TEST(Ndm, ResetOnOtherVcOfInputChannelSuppressesDetection)
+{
+    // The G/P flag is per input *physical* channel: any VC of a
+    // G-flagged input freeing (or routing) proves the channel is not
+    // wedged, so the flag must fall back to P and the pending
+    // detection must be suppressed — even when the blocked head sits
+    // on a different VC of that channel.
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    det.onCycleEnd(0, /*tx=*/0x2, 0x3, now++); // G condition
+    det.onRoutingFailed(0, 2, /*in_vc=*/0, 7, 0x3, true, true, now);
+    EXPECT_TRUE(det.gpFlag(0, 2));
+    idleCycles(det, 6, 0x3, now); // DT set on both outputs
+    // VC 1 of input 2 frees (a different worm finished draining).
+    det.onInputVcFreed(0, 2, /*in_vc=*/1);
+    EXPECT_FALSE(det.gpFlag(0, 2));
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 2, 0, 7, 0x3, true, false, now));
+
+    // Same through the routed path: G again, then a worm on VC 2 of
+    // the input channel is granted an output.
+    det.onCycleEnd(0, /*tx=*/0x2, 0x3, now++);
+    det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now);
+    EXPECT_TRUE(det.gpFlag(0, 2));
+    det.onMessageRouted(0, 2, /*in_vc=*/2);
+    EXPECT_FALSE(det.gpFlag(0, 2));
+    EXPECT_FALSE(
+        det.onRoutingFailed(0, 2, 0, 7, 0x3, true, false, now));
+}
+
+TEST(Ndm, ResetClearsWaitStateForSelectiveRearm)
+{
+    // onMessageRouted/onInputVcFreed must also clear the per-VC
+    // wait record; otherwise a later I-flag reset on the output
+    // would re-arm an input whose head already moved on.
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    idleCycles(det, 3, 0x3, now); // I set on outputs 0 and 1
+    det.onRoutingFailed(0, 1, 0, 7, /*feasible=*/0x1, true, true,
+                        now);
+    det.onRoutingFailed(0, 2, 0, 8, /*feasible=*/0x1, true, true,
+                        now);
+    // Input 1's head advances; input 2 keeps waiting on output 0.
+    det.onMessageRouted(0, 1, 0);
+    det.onCycleEnd(0, /*tx=*/0x1, 0x3, now++); // I reset on output 0
+    EXPECT_FALSE(det.gpFlag(0, 1)) << "stale wait record re-armed";
+    EXPECT_TRUE(det.gpFlag(0, 2));
+}
+
+TEST(Ndm, ReblockAfterResetRegeneratesAndDetects)
+{
+    // Full flag round trip: G -> reset to P (VC freed) -> fresh
+    // first attempt re-evaluates the I flags and re-generates G, and
+    // the message is detected once every feasible channel trips DT.
+    NdmDetector det(NdmParams{1, 4, GpRearmPolicy::WaitersOnChannel});
+    det.init(smallCtx());
+    Cycle now = 0;
+    det.onCycleEnd(0, /*tx=*/0x2, 0x3, now++);
+    det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now);
+    EXPECT_TRUE(det.gpFlag(0, 2));
+    det.onInputVcFreed(0, 2, 0);
+    EXPECT_FALSE(det.gpFlag(0, 2));
+
+    // Output 1 transmits again: its occupant may be a new root.
+    det.onCycleEnd(0, /*tx=*/0x2, 0x3, now++);
+    det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now);
+    EXPECT_TRUE(det.gpFlag(0, 2));
+    idleCycles(det, 6, 0x3, now); // DT trips on both outputs
+    EXPECT_TRUE(
+        det.onRoutingFailed(0, 2, 0, 7, 0x3, true, false, now));
+}
+
 TEST(Ndm, CoarseRearmFlipsAllFlags)
 {
     NdmDetector det(NdmParams{1, 4, GpRearmPolicy::AllInRouter});

@@ -214,8 +214,9 @@ TEST(Fault, FaultedPortsNeverInFeasibleSetsUnderLoad)
             for (PortId p = 0; p < rp.numInPorts(); ++p) {
                 for (VcId v = 0; v < rp.vcs; ++v) {
                     const InputVc &vc = net.router(n).inputVc(p, v);
-                    if (vc.routed)
+                    if (vc.routed) {
                         EXPECT_FALSE(net.portFaulty(n, vc.outPort));
+                    }
                 }
             }
         }

@@ -88,9 +88,10 @@ TEST(Report, DetectionSectionReflectsActivity)
 
     const std::string report = buildReport(sim);
     EXPECT_NE(report.find("verdicts raised"), std::string::npos);
-    if (sim.net().stats().detectionLatency.count() > 0)
+    if (sim.net().stats().detectionLatency.count() > 0) {
         EXPECT_NE(report.find("detection latency"),
                   std::string::npos);
+    }
 }
 
 } // namespace
