@@ -54,6 +54,10 @@ parseBenchArgs(int argc, char **argv, const std::string &pattern,
     if (opts.replications < 1)
         fatal("--seeds must be >= 1");
     opts.jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
+    opts.checkpoint = cli.getString("checkpoint", opts.checkpoint);
+    opts.checkpointEvery = static_cast<unsigned>(
+        cli.getUint("checkpoint-every", opts.checkpointEvery));
+    opts.resume = cli.getString("resume", opts.resume);
 
     opts.satRate = cli.getDouble("sat", default_sat);
     // The baked-in saturation defaults were calibrated on the
@@ -109,7 +113,11 @@ runTableBench(const std::string &title, const BenchOptions &opts,
             std::fflush(stderr);
         };
     }
-    const ExperimentRunner runner(progress, opts.jobs);
+    ExperimentRunner runner(progress, opts.jobs);
+    if (!opts.checkpoint.empty())
+        runner.setCheckpoint(opts.checkpoint, opts.checkpointEvery);
+    if (!opts.resume.empty())
+        runner.setResume(opts.resume);
     const TableResult result = runner.runTable(spec);
     if (!opts.quiet)
         std::fputc('\n', stderr);

@@ -28,6 +28,11 @@
  *                      stdout is bitwise-identical for every value;
  *                      jobs and the measured speedup go to stderr.
  *   --csv              also dump the table as CSV
+ *   --checkpoint <f>   periodically save finished cells to <f>
+ *   --checkpoint-every <n>  cells between saves (default 8)
+ *   --resume <f>       restore finished cells from <f> and skip
+ *                      them; the printed table is byte-identical to
+ *                      an uninterrupted run at any --jobs
  */
 
 #ifndef WORMNET_BENCH_BENCH_UTIL_HH
@@ -71,6 +76,13 @@ struct BenchOptions
     unsigned jobs = 0;
     bool csv = false;
     bool quiet = false;
+
+    /** @name Sweep checkpointing (see ExperimentRunner). */
+    /// @{
+    std::string checkpoint; ///< --checkpoint FILE (empty disables)
+    unsigned checkpointEvery = 8; ///< --checkpoint-every N cells
+    std::string resume;     ///< --resume FILE (empty disables)
+    /// @}
 };
 
 /**

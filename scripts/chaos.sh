@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Chaos harness: prove the simulator survives process death.
+#
+#   scripts/chaos.sh              # quick storm (CI smoke)
+#   scripts/chaos.sh --full       # 16x16 torus, long run
+#
+# Three stages, all against bench/ablation_reconfig (a saturated
+# torus with live reconfiguration epochs):
+#
+#   1. baseline: one uninterrupted run; its stdout JSON is the
+#      reference output.
+#   2. crash/resume determinism: kill the run (via --crash-at ->
+#      _Exit(86)) at three different cycles, resume each from its
+#      checkpoint, and require stdout to be byte-identical to the
+#      baseline.
+#   3. SIGKILL storm: run with periodic checkpoints, SIGKILL the
+#      process from outside at random times, resume, repeat until it
+#      completes — the final output must again match the baseline.
+#
+# Any divergence or failed resume exits nonzero. BUILD_DIR overrides
+# the build tree (default: build).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+BENCH="$BUILD_DIR/bench/ablation_reconfig"
+SEED=${SEED:-3}
+
+MODE_ARGS=(--quick)
+CRASH_CYCLES=(700 1500 2600)
+if [[ "${1:-}" == "--full" ]]; then
+    MODE_ARGS=()
+    CRASH_CYCLES=(3000 6000 10000)
+fi
+
+if [[ ! -x "$BENCH" ]]; then
+    echo "chaos.sh: $BENCH not built (cmake --build $BUILD_DIR)" >&2
+    exit 2
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== baseline run" >&2
+"$BENCH" "${MODE_ARGS[@]}" --seed "$SEED" \
+    > "$WORK/baseline.json" 2> /dev/null
+
+echo "== crash/resume determinism" >&2
+for at in "${CRASH_CYCLES[@]}"; do
+    ckpt="$WORK/crash_$at.bin"
+    rc=0
+    "$BENCH" "${MODE_ARGS[@]}" --seed "$SEED" \
+        --checkpoint "$ckpt" --crash-at "$at" \
+        > /dev/null 2> /dev/null || rc=$?
+    if [[ $rc -ne 86 ]]; then
+        echo "chaos.sh: expected deliberate exit 86 at cycle $at," \
+             "got $rc" >&2
+        exit 1
+    fi
+    "$BENCH" "${MODE_ARGS[@]}" --seed "$SEED" \
+        --checkpoint "$ckpt" --resume "$ckpt" \
+        > "$WORK/resumed_$at.json" 2> /dev/null
+    if ! cmp -s "$WORK/baseline.json" "$WORK/resumed_$at.json"; then
+        echo "chaos.sh: resume after crash at cycle $at diverged" >&2
+        diff "$WORK/baseline.json" "$WORK/resumed_$at.json" >&2 || true
+        exit 1
+    fi
+    echo "   crash at cycle $at: resumed byte-identical" >&2
+done
+
+echo "== SIGKILL storm" >&2
+ckpt="$WORK/storm.bin"
+out="$WORK/storm.json"
+rm -f "$ckpt"
+# SIGKILL the run at pseudo-random points for MAX_KILLS rounds, then
+# let the final resume finish unharassed. Bounding the kill count
+# (rather than racing the timer until the bench happens to outrun it)
+# makes termination deterministic regardless of machine load while
+# still landing a dozen kills mid-checkpoint-write.
+MAX_KILLS=${MAX_KILLS:-12}
+attempts=0
+while :; do
+    attempts=$((attempts + 1))
+    resume_args=()
+    [[ -f "$ckpt" ]] && resume_args=(--resume "$ckpt")
+    "$BENCH" "${MODE_ARGS[@]}" --seed "$SEED" \
+        --checkpoint "$ckpt" --checkpoint-every 200 \
+        "${resume_args[@]}" > "$out" 2> /dev/null &
+    pid=$!
+    if [[ $attempts -le $MAX_KILLS ]]; then
+        # Kill after a pseudo-random slice of the expected runtime;
+        # if the run beats the timer, accept the early finish.
+        sleep "0.0$(( (attempts * 3331) % 90 + 10 ))"
+        if kill -KILL "$pid" 2> /dev/null; then
+            wait "$pid" 2> /dev/null || true
+            echo "   run $attempts: SIGKILLed, resuming" >&2
+            continue
+        fi
+    fi
+    rc=0
+    wait "$pid" || rc=$?
+    if [[ $rc -ne 0 ]]; then
+        echo "chaos.sh: storm run exited with $rc" >&2
+        exit 1
+    fi
+    break
+done
+if ! cmp -s "$WORK/baseline.json" "$out"; then
+    echo "chaos.sh: storm output diverged from the baseline" >&2
+    diff "$WORK/baseline.json" "$out" >&2 || true
+    exit 1
+fi
+echo "   survived $attempts runs, output byte-identical" >&2
+
+echo "chaos.sh: OK" >&2

@@ -65,6 +65,23 @@ class Rng
      */
     Rng split();
 
+    /** Checkpoint support: the full state is the four words. */
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        for (std::uint64_t w : s_)
+            s.u64(w);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        for (std::uint64_t &w : s_)
+            w = d.u64();
+    }
+
   private:
     std::uint64_t s_[4];
 };

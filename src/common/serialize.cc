@@ -1,0 +1,65 @@
+#include "common/serialize.hh"
+
+#include <array>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+void
+Serializer::str(const std::string &s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+std::uint8_t
+Deserializer::u8()
+{
+    if (pos_ >= size_)
+        fatal("checkpoint payload truncated: read past byte ", size_);
+    return data_[pos_++];
+}
+
+std::string
+Deserializer::str()
+{
+    const std::uint32_t len = u32();
+    if (len > remaining())
+        fatal("checkpoint payload truncated: string of ", len,
+              " bytes with only ", remaining(), " remaining");
+    std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+}
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace wormnet

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Minimal deterministic binary serialization used by the checkpoint
+ * subsystem.
+ *
+ * The encoding is explicit little-endian with fixed-width integers and
+ * IEEE-754 doubles carried as their 64-bit patterns, so a checkpoint
+ * written on one host restores bit-identically on any other. There is
+ * no schema evolution inside the payload: compatibility is governed by
+ * the single version number in the checkpoint file header, and any
+ * layout change bumps that version.
+ */
+
+#ifndef WORMNET_COMMON_SERIALIZE_HH
+#define WORMNET_COMMON_SERIALIZE_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wormnet
+{
+
+/** Append-only byte sink for checkpoint payloads. */
+class Serializer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    void
+    boolean(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    /** Length-prefixed string. */
+    void str(const std::string &s);
+
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Cursor over a checkpoint payload. Any read past the end is a
+ * corruption (the CRC already vouched for the bytes, so a structural
+ * mismatch means writer and reader disagree) and is fatal.
+ */
+class Deserializer
+{
+  public:
+    Deserializer(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint8_t u8();
+
+    std::uint16_t
+    u16()
+    {
+        const std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo |
+                                          (std::uint16_t(u8()) << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const std::uint32_t lo = u16();
+        return lo | (std::uint32_t(u16()) << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | (std::uint64_t(u32()) << 32);
+    }
+
+    double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+
+    bool boolean() { return u8() != 0; }
+
+    std::string str();
+
+    /** True when every payload byte has been consumed. */
+    bool atEnd() const { return pos_ == size_; }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected) of a byte range. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+
+/**
+ * Access a std::priority_queue's underlying container.
+ *
+ * Checkpointing must preserve a priority queue's exact pop order,
+ * including the order among equal keys, which is an artifact of the
+ * concrete heap layout. Re-pushing elements would rebuild a
+ * different (still valid) heap and silently reorder ties, so the
+ * heap array is serialized verbatim instead: the standard guarantees
+ * the container is the protected member `c`, reachable through a
+ * derived-class member pointer. A saved valid heap restored by
+ * direct container assignment is the same valid heap.
+ */
+template <class PQ>
+auto &
+pqContainer(PQ &pq)
+{
+    struct Opener : PQ
+    {
+        using PQ::c;
+    };
+    return pq.*(&Opener::c);
+}
+
+template <class PQ>
+const auto &
+pqContainer(const PQ &pq)
+{
+    struct Opener : PQ
+    {
+        using PQ::c;
+    };
+    return pq.*(&Opener::c);
+}
+
+} // namespace wormnet
+
+#endif // WORMNET_COMMON_SERIALIZE_HH

@@ -42,6 +42,31 @@ class RunningStat
     /** Sample standard deviation. */
     double stddev() const;
 
+    /** Checkpoint support: dump/restore the accumulator verbatim. */
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        s.u64(count_);
+        s.f64(mean_);
+        s.f64(m2_);
+        s.f64(sum_);
+        s.f64(min_);
+        s.f64(max_);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        count_ = d.u64();
+        mean_ = d.f64();
+        m2_ = d.f64();
+        sum_ = d.f64();
+        min_ = d.f64();
+        max_ = d.f64();
+    }
+
   private:
     std::uint64_t count_ = 0;
     double mean_ = 0.0;
@@ -86,6 +111,31 @@ class Histogram
     /** Multi-line textual rendering for reports. */
     std::string toString() const;
 
+    /** Checkpoint support: geometry is config-fixed, counts are not. */
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        s.u64(width_);
+        s.u64(static_cast<std::uint64_t>(buckets_.size()));
+        for (std::uint64_t b : buckets_)
+            s.u64(b);
+        s.u64(overflow_);
+        s.u64(total_);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        width_ = d.u64();
+        buckets_.assign(d.u64(), 0);
+        for (std::uint64_t &b : buckets_)
+            b = d.u64();
+        overflow_ = d.u64();
+        total_ = d.u64();
+    }
+
   private:
     std::uint64_t width_;
     std::vector<std::uint64_t> buckets_;
@@ -112,6 +162,22 @@ class RateEstimator
     double rate() const
     {
         return cycles_ ? static_cast<double>(events_) / cycles_ : 0.0;
+    }
+
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        s.u64(events_);
+        s.u64(cycles_);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        events_ = d.u64();
+        cycles_ = d.u64();
     }
 
   private:

@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/contracts.hh"
 #include "common/log.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "sim/checkpoint.hh"
 
 namespace wormnet
 {
@@ -34,6 +36,33 @@ secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start)
         .count();
+}
+
+/**
+ * Canonical rendering of everything that determines a table's cell
+ * grid and contents. Embedded in sweep checkpoints: a resume whose
+ * spec differs in any way is rejected before any slot is trusted.
+ */
+std::string
+tableConfigString(const TableSpec &spec)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "table=" << spec.title
+       << " base=[" << spec.base.canonicalString() << "]"
+       << " detector-template=" << spec.detectorTemplate;
+    os << " thresholds=";
+    for (const Cycle t : spec.thresholds)
+        os << t << ';';
+    os << " sizes=";
+    for (const std::string &s : spec.sizeClasses)
+        os << s << ';';
+    os << " rates=";
+    for (const double r : spec.rates)
+        os << r << ';';
+    os << " warmup=" << spec.warmup << " measure=" << spec.measure
+       << " replications=" << spec.replications;
+    return os.str();
 }
 
 } // namespace
@@ -135,8 +164,56 @@ ExperimentRunner::runTable(const TableSpec &spec) const
     // is bitwise-identical for every job count.
     const auto start = Clock::now();
     std::vector<CellResult> raw(nCells * reps);
+
+    // Sweep checkpointing: done[w] marks slot w as final. Resumed
+    // slots are restored bit-exactly before the pool starts and
+    // skipped by the workers; the reduction cannot tell the
+    // difference, so resumed output is byte-identical.
+    std::vector<std::uint8_t> done(nCells * reps, 0);
+    const std::string ckpt_config = tableConfigString(spec);
+    if (!resumePath_.empty()) {
+        const std::vector<std::uint8_t> payload =
+            readCheckpointFile(resumePath_, ckpt_config);
+        Deserializer d(payload.data(), payload.size());
+        const std::uint64_t slots = d.u64();
+        if (slots != raw.size())
+            fatal("sweep checkpoint '", resumePath_, "' has ", slots,
+                  " slots; this table has ", raw.size());
+        for (std::size_t w = 0; w < raw.size(); ++w) {
+            done[w] = d.boolean() ? 1 : 0;
+            if (done[w])
+                raw[w].loadState(d);
+        }
+        if (!d.atEnd())
+            fatal("sweep checkpoint '", resumePath_, "' has ",
+                  d.remaining(), " unread trailing bytes");
+    }
+
+    const char *crash_env =
+        std::getenv("WORMNET_CRASH_AFTER_CELLS");
+    const std::uint64_t crash_after =
+        crash_env ? std::strtoull(crash_env, nullptr, 10) : 0;
+    const bool track_completion =
+        !checkpointPath_.empty() || crash_after > 0;
+
+    // All guarded by checkpointMutex_.
+    std::uint64_t completed_this_run = 0;
+    std::uint64_t completed_since_save = 0;
+    const auto save_locked = [&]() {
+        Serializer s;
+        s.u64(raw.size());
+        for (std::size_t w = 0; w < raw.size(); ++w) {
+            s.boolean(done[w] != 0);
+            if (done[w])
+                raw[w].saveState(s);
+        }
+        writeCheckpointFile(checkpointPath_, ckpt_config, s);
+    };
+
     std::atomic<std::uint64_t> busyNanos{0};
     parallelFor(nCells * reps, jobs_, [&](std::size_t w) {
+        if (done[w])
+            return; // restored from the resume checkpoint
         const std::size_t c = w / reps;
         const std::size_t p = w % reps;
         const std::size_t t = c % nThs;
@@ -167,7 +244,40 @@ ExperimentRunner::runTable(const TableSpec &spec) const
                     Clock::now() - cellStart)
                     .count()),
             std::memory_order_relaxed);
+
+        if (!track_completion) {
+            done[w] = 1; // slot is only ever touched by this worker
+            return;
+        }
+        // The mutex both serializes saves and publishes raw[w] (the
+        // owner writes it before locking; a saver only reads slots
+        // whose done flag it observed under the same lock).
+        std::lock_guard<std::mutex> lock(checkpointMutex_);
+        done[w] = 1;
+        ++completed_this_run;
+        ++completed_since_save;
+        const bool crash =
+            crash_after > 0 && completed_this_run >= crash_after;
+        if (!checkpointPath_.empty() &&
+            (crash || completed_since_save >= checkpointEvery_)) {
+            save_locked();
+            completed_since_save = 0;
+        }
+        if (crash) {
+            // _Exit: no atexit / static destructors — the point is
+            // to die abruptly mid-sweep, and LSan would otherwise
+            // report every live allocation of the worker threads.
+            std::fflush(nullptr);
+            std::_Exit(86);
+        }
     });
+
+    // A final save so a completed sweep leaves a complete file (a
+    // later resume then skips every cell).
+    if (!checkpointPath_.empty()) {
+        std::lock_guard<std::mutex> lock(checkpointMutex_);
+        save_locked();
+    }
 
     for (std::size_t r = 0; r < nRates; ++r) {
         for (std::size_t s = 0; s < nSizes; ++s) {

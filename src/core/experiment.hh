@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/table.hh"
 #include "core/simulation.hh"
 
@@ -50,6 +51,41 @@ struct CellResult
      *  offered load the saturation search compares against. */
     double generatedFlitRate = 0.0;
     double avgLatency = 0.0;
+
+    /** @name Checkpoint support (bit-exact: doubles round-trip
+     *  through their raw encoding, so a resumed sweep renders
+     *  byte-identical tables). */
+    /// @{
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        s.f64(detectionRate);
+        s.f64(detectionRateStd);
+        s.u32(replications);
+        s.boolean(sawTrueDeadlock);
+        s.u64(delivered);
+        s.u64(detectedMessages);
+        s.f64(acceptedFlitRate);
+        s.f64(generatedFlitRate);
+        s.f64(avgLatency);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        detectionRate = d.f64();
+        detectionRateStd = d.f64();
+        replications = d.u32();
+        sawTrueDeadlock = d.boolean();
+        delivered = d.u64();
+        detectedMessages = d.u64();
+        acceptedFlitRate = d.f64();
+        generatedFlitRate = d.f64();
+        avgLatency = d.f64();
+    }
+    /// @}
 };
 
 /** Specification of one paper-style detection table. */
@@ -118,6 +154,32 @@ class ExperimentRunner
     void setJobs(unsigned jobs) { jobs_ = jobs; }
     unsigned jobs() const { return jobs_; }
 
+    /**
+     * @name Sweep-level checkpointing.
+     *
+     * With a checkpoint path set, runTable() atomically saves every
+     * finished cell slot to @p path (CRC-checked, see
+     * sim/checkpoint.hh) each time @p every_cells more cells
+     * complete. setResume() pre-loads those slots and skips the
+     * finished work; the file embeds the full table spec, so a
+     * resume under a different spec fails loudly. Because slots are
+     * restored bit-exactly and the reduction is serial, a resumed
+     * table is byte-identical to an uninterrupted one at any job
+     * count. The WORMNET_CRASH_AFTER_CELLS environment variable
+     * (used by the crash tests and scripts/chaos.sh) saves and
+     * calls _Exit(86) after that many newly finished cells.
+     */
+    /// @{
+    void
+    setCheckpoint(const std::string &path, unsigned every_cells)
+    {
+        checkpointPath_ = path;
+        checkpointEvery_ = every_cells > 0 ? every_cells : 1;
+    }
+
+    void setResume(const std::string &path) { resumePath_ = path; }
+    /// @}
+
     /** Run every cell of @p spec (each cell is one simulation). */
     TableResult runTable(const TableSpec &spec) const;
 
@@ -179,6 +241,15 @@ class ExperimentRunner
     unsigned jobs_;
     /** Serializes progress_ invocations from worker threads. */
     mutable std::mutex progressMutex_;
+
+    /** @name Sweep checkpointing (see setCheckpoint). */
+    /// @{
+    std::string checkpointPath_;
+    unsigned checkpointEvery_ = 8;
+    std::string resumePath_;
+    /** Guards the done flags and slot reads during a save. */
+    mutable std::mutex checkpointMutex_;
+    /// @}
 };
 
 } // namespace wormnet

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "sim/checkpoint.hh"
 
 namespace wormnet
 {
@@ -40,8 +41,35 @@ SimulationConfig::fromConfig(const Config &cfg)
     c.faultRepair = cfg.getUint("fault-repair", c.faultRepair);
     c.maxRetries = static_cast<unsigned>(
         cfg.getUint("max-retries", c.maxRetries));
+    c.reconfig = cfg.getString("reconfig", c.reconfig);
+    c.reconfigCheck = cfg.getBool("reconfig-check", c.reconfigCheck);
     c.seed = cfg.getUint("seed", c.seed);
     return c;
+}
+
+std::string
+SimulationConfig::canonicalString() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "topology=" << topology << " radix=" << radix
+       << " dims=" << dims << " radices=" << radices
+       << " vcs=" << vcs << " buf-depth=" << bufDepth
+       << " inj-ports=" << injPorts << " eje-ports=" << ejePorts
+       << " routing=" << routing << " detector=" << detector
+       << " recovery=" << recovery << " selection=" << selection
+       << " pattern=" << pattern << " lengths=" << lengths
+       << " rate=" << flitRate
+       << " injection-limit=" << injectionLimit
+       << " injection-limit-fraction=" << injectionLimitFraction
+       << " oracle-period=" << oraclePeriod
+       << " max-source-queue=" << maxSourceQueue
+       << " faults=" << faults << " fault-repair=" << faultRepair
+       << " max-retries=" << maxRetries
+       << " reconfig=" << reconfig
+       << " reconfig-check=" << reconfigCheck
+       << " seed=" << seed;
+    return os.str();
 }
 
 Simulation::Simulation(const SimulationConfig &config)
@@ -92,9 +120,33 @@ Simulation::Simulation(const SimulationConfig &config)
         faults_ = std::make_unique<FaultModel>(fp);
         network_->attachFaultModel(faults_.get());
     }
+
+    if (!config.reconfig.empty()) {
+        reconfig_ = std::make_unique<ReconfigManager>(
+            ReconfigPlan::parse(config.reconfig),
+            config.reconfigCheck);
+        network_->attachReconfig(reconfig_.get());
+    }
 }
 
 Simulation::~Simulation() = default;
+
+void
+Simulation::saveCheckpoint(const std::string &path) const
+{
+    Serializer s;
+    network_->saveState(s);
+    writeCheckpointFile(path, config_.canonicalString(), s);
+}
+
+void
+Simulation::loadCheckpoint(const std::string &path)
+{
+    const std::vector<std::uint8_t> payload =
+        readCheckpointFile(path, config_.canonicalString());
+    Deserializer d(payload.data(), payload.size());
+    network_->loadState(d);
+}
 
 SimSummary
 Simulation::warmupAndMeasure(Cycle warmup, Cycle measure)

@@ -19,6 +19,7 @@
 #include "recovery/recovery.hh"
 #include "routing/routing.hh"
 #include "sim/network.hh"
+#include "sim/reconfig.hh"
 #include "topology/topology.hh"
 #include "traffic/generator.hh"
 
@@ -80,7 +81,25 @@ struct SimulationConfig
     unsigned maxRetries = 32;
     /// @}
 
+    /** @name Online reconfiguration. */
+    /// @{
+    /** Reconfiguration plan (see ReconfigPlan::parse); empty
+     *  disables. */
+    std::string reconfig;
+    /** Cross-check every applied epoch with the static CDG
+     *  analyzer (recorded in the per-epoch records). */
+    bool reconfigCheck = true;
+    /// @}
+
     std::uint64_t seed = 1;
+
+    /**
+     * Canonical single-line "key=value" rendering of every field.
+     * Two configs produce byte-identical strings iff they build
+     * identical simulations; checkpoint files embed it so a resume
+     * under a different configuration fails loudly.
+     */
+    std::string canonicalString() const;
 
     /**
      * Build from a command-line Config; every field maps to an option
@@ -89,7 +108,7 @@ struct SimulationConfig
      * --detector, --recovery, --selection, --pattern, --lengths,
      * --rate, --injection-limit, --injection-limit-fraction,
      * --oracle-period, --max-source-queue, --faults, --fault-repair,
-     * --max-retries, --seed.
+     * --max-retries, --reconfig, --reconfig-check, --seed.
      */
     static SimulationConfig fromConfig(const Config &cfg);
 };
@@ -155,6 +174,29 @@ class Simulation
     /** Summarise the current measurement window. */
     SimSummary summary() const;
 
+    /** The attached reconfiguration manager (nullptr without
+     *  --reconfig). */
+    const ReconfigManager *reconfigManager() const
+    {
+        return reconfig_.get();
+    }
+
+    /**
+     * @name Checkpoint/restore.
+     *
+     * saveCheckpoint() snapshots the complete simulation state
+     * (network, RNGs, detector, recovery, faults, reconfiguration)
+     * at the current step() boundary into a versioned, CRC-checked
+     * file (see sim/checkpoint.hh). loadCheckpoint() restores it
+     * onto this freshly constructed simulation; the file's embedded
+     * config string must match this simulation's canonicalString().
+     * A resumed run is bitwise-identical to one that never stopped.
+     */
+    /// @{
+    void saveCheckpoint(const std::string &path) const;
+    void loadCheckpoint(const std::string &path);
+    /// @}
+
   private:
     SimulationConfig config_;
     std::unique_ptr<Topology> topology_;
@@ -164,6 +206,7 @@ class Simulation
     std::unique_ptr<DeadlockDetector> detector_;
     std::unique_ptr<RecoveryManager> recovery_;
     std::unique_ptr<FaultModel> faults_;
+    std::unique_ptr<ReconfigManager> reconfig_;
     std::unique_ptr<Network> network_;
 };
 

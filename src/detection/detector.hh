@@ -25,6 +25,7 @@
 #include <memory>
 #include <string>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace wormnet
@@ -149,6 +150,26 @@ class DeadlockDetector
      * per-router sweep every cycle.
      */
     virtual bool idleCycleEndStable() const { return false; }
+
+    /**
+     * The routing function changed under a live network (online
+     * reconfiguration). Per-channel *waiting/grant* state tied to the
+     * old routing relation is now meaningless and must be dropped;
+     * activity counters that time channel inactivity independently of
+     * routing may be kept. Blocked heads are re-presented as fresh
+     * first attempts by the Network afterwards. Default: nothing to
+     * drop.
+     */
+    virtual void onRoutingChanged() {}
+
+    /**
+     * Checkpoint support: serialize all dynamic state. Stateless
+     * detectors keep the defaults. Writers and readers must pair
+     * exactly; the checkpoint header's config string guarantees the
+     * same detector spec on both sides.
+     */
+    virtual void saveState(Serializer &s) const { (void)s; }
+    virtual void loadState(Deserializer &d) { (void)d; }
 
     /** Detector name for reports. */
     virtual std::string name() const = 0;

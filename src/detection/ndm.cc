@@ -1,5 +1,6 @@
 #include "detection/ndm.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.hh"
@@ -178,6 +179,54 @@ NdmDetector::onPortFaultChanged(NodeId router, PortId out_port,
     } else {
         faultyOut_[router] &= ~bit;
     }
+}
+
+void
+NdmDetector::onRoutingChanged()
+{
+    // The G/P protocol reasons about which worms wait on which
+    // output channels under the *current* routing relation; after a
+    // routing switch those dependencies are stale. Reset every input
+    // channel to P and forget the waiting masks — blocked heads are
+    // re-presented as first attempts and re-seed G/P soundly. The
+    // inactivity counters and I/DT flags stay: they time physical
+    // channel activity, which the routing change does not invalidate.
+    std::fill(gp_.begin(), gp_.end(), 0);
+    std::fill(waiting_.begin(), waiting_.end(), 0);
+}
+
+void
+NdmDetector::saveState(Serializer &s) const
+{
+    for (const Cycle c : counters_)
+        s.u64(c);
+    for (const std::uint8_t f : iFlags_)
+        s.u8(f);
+    for (const std::uint8_t f : dtFlags_)
+        s.u8(f);
+    for (const std::uint8_t f : gp_)
+        s.u8(f);
+    for (const PortMask m : waiting_)
+        s.u32(m);
+    for (const PortMask m : faultyOut_)
+        s.u32(m);
+}
+
+void
+NdmDetector::loadState(Deserializer &d)
+{
+    for (Cycle &c : counters_)
+        c = d.u64();
+    for (std::uint8_t &f : iFlags_)
+        f = d.u8();
+    for (std::uint8_t &f : dtFlags_)
+        f = d.u8();
+    for (std::uint8_t &f : gp_)
+        f = d.u8();
+    for (PortMask &m : waiting_)
+        m = d.u32();
+    for (PortMask &m : faultyOut_)
+        m = d.u32();
 }
 
 std::string

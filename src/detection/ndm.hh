@@ -89,6 +89,12 @@ class NdmDetector : public DeadlockDetector
                             bool faulty) override;
     /** Idle (0, 0) cycle-ends only re-clear already-clear state. */
     bool idleCycleEndStable() const override { return true; }
+    /** Drop routing-relation state (G/P flags, waiting masks); keep
+     *  the channel-activity counters and I/DT flags, which time
+     *  transmissions independent of the routing function. */
+    void onRoutingChanged() override;
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
     std::string name() const override;
 
     /** @name White-box accessors for unit tests. */

@@ -1,5 +1,6 @@
 #include "detection/pdm.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.hh"
@@ -85,6 +86,39 @@ PdmDetector::onPortFaultChanged(NodeId router, PortId out_port,
     } else {
         faultyOut_[router] &= ~bit;
     }
+}
+
+void
+PdmDetector::onRoutingChanged()
+{
+    // IF is PDM's whole verdict: clear it so messages blocked under
+    // the old routing relation do not instantly flag under the new
+    // one. Counters keep running — channel inactivity is a physical
+    // observation, and a genuinely stuck channel re-flags after one
+    // threshold interval.
+    std::fill(ifFlags_.begin(), ifFlags_.end(), 0);
+}
+
+void
+PdmDetector::saveState(Serializer &s) const
+{
+    for (const Cycle c : counters_)
+        s.u64(c);
+    for (const std::uint8_t f : ifFlags_)
+        s.u8(f);
+    for (const PortMask m : faultyOut_)
+        s.u32(m);
+}
+
+void
+PdmDetector::loadState(Deserializer &d)
+{
+    for (Cycle &c : counters_)
+        c = d.u64();
+    for (std::uint8_t &f : ifFlags_)
+        f = d.u8();
+    for (PortMask &m : faultyOut_)
+        m = d.u32();
 }
 
 std::string

@@ -57,6 +57,10 @@ class PdmDetector : public DeadlockDetector
     {
         return params_.gateOccupancy;
     }
+    /** Drop the IF verdict flags; keep the activity counters. */
+    void onRoutingChanged() override;
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
     std::string name() const override;
 
     /** @name White-box accessors for unit tests. */

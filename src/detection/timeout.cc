@@ -52,6 +52,20 @@ TimeoutDetector::onInputVcFreed(NodeId router, PortId in_port,
     blockedSince_[vcIdx(router, in_port, in_vc)] = kNever;
 }
 
+void
+TimeoutDetector::saveState(Serializer &s) const
+{
+    for (const Cycle c : blockedSince_)
+        s.u64(c);
+}
+
+void
+TimeoutDetector::loadState(Deserializer &d)
+{
+    for (Cycle &c : blockedSince_)
+        c = d.u64();
+}
+
 std::string
 TimeoutDetector::name() const
 {

@@ -44,6 +44,8 @@ class TimeoutDetector : public DeadlockDetector
     {
     }
     bool idleCycleEndStable() const override { return true; }
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
     std::string name() const override;
 
   private:

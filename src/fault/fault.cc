@@ -278,4 +278,63 @@ FaultModel::tick(Cycle now)
     return !changes_.empty();
 }
 
+void
+FaultModel::saveState(Serializer &s) const
+{
+    rng_.saveState(s);
+    s.u64(nextScheduled_);
+    s.u64(static_cast<std::uint64_t>(causeCount_.size()));
+    for (const std::uint8_t c : causeCount_)
+        s.u8(c);
+    for (const PortMask m : faultyMask_)
+        s.u32(m);
+    for (const std::uint8_t r : routerFaulty_)
+        s.u8(r);
+    // The repair heap is written verbatim so equal-cycle repairs pop
+    // in the exact pre-checkpoint order.
+    const auto &heap = pqContainer(repairs_);
+    s.u32(static_cast<std::uint32_t>(heap.size()));
+    for (const Repair &r : heap) {
+        s.u64(r.when);
+        s.u8(static_cast<std::uint8_t>(r.kind));
+        s.u32(r.node);
+        s.u16(r.outPort);
+    }
+    s.u64(activeLinks_);
+    s.u64(activeRouters_);
+    s.u64(injected_);
+    s.u64(repaired_);
+}
+
+void
+FaultModel::loadState(Deserializer &d)
+{
+    rng_.loadState(d);
+    nextScheduled_ = d.u64();
+    const std::uint64_t links = d.u64();
+    causeCount_.assign(links, 0);
+    for (std::uint8_t &c : causeCount_)
+        c = d.u8();
+    faultyMask_.assign(causeCount_.size() / netPorts_, 0);
+    for (PortMask &m : faultyMask_)
+        m = d.u32();
+    routerFaulty_.assign(faultyMask_.size(), 0);
+    for (std::uint8_t &r : routerFaulty_)
+        r = d.u8();
+    auto &heap = pqContainer(repairs_);
+    heap.clear();
+    heap.resize(d.u32());
+    for (Repair &r : heap) {
+        r.when = d.u64();
+        r.kind = static_cast<ScheduledFault::Kind>(d.u8());
+        r.node = d.u32();
+        r.outPort = d.u16();
+    }
+    activeLinks_ = d.u64();
+    activeRouters_ = d.u64();
+    injected_ = d.u64();
+    repaired_ = d.u64();
+    changes_.clear();
+}
+
 } // namespace wormnet

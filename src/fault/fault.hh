@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "router/router.hh"
 #include "topology/topology.hh"
@@ -159,6 +160,13 @@ class FaultModel
     /// @}
 
     const FaultParams &params() const { return params_; }
+
+    /** @name Checkpoint support. schedule_ is rebuilt by init() (it
+     *  is config-derived); everything that evolves is written. */
+    /// @{
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
+    /// @}
 
   private:
     /** A pending self-repair. */

@@ -131,6 +131,49 @@ DishaRecovery::pending() const
     return waiting_.size() + draining_.size() + deliveries_.size();
 }
 
+void
+DishaRecovery::saveState(Serializer &s) const
+{
+    s.u32(freeTokens_);
+    s.u32(static_cast<std::uint32_t>(waiting_.size()));
+    for (const MsgId m : waiting_)
+        s.u32(m);
+    s.u32(static_cast<std::uint32_t>(draining_.size()));
+    for (const Drain &dr : draining_) {
+        s.u32(dr.msg);
+        s.u64(dr.eligibleAt);
+        s.u32(dr.headNode);
+    }
+    const auto &heap = pqContainer(deliveries_);
+    s.u32(static_cast<std::uint32_t>(heap.size()));
+    for (const PendingDelivery &pd : heap) {
+        s.u64(pd.when);
+        s.u32(pd.msg);
+    }
+}
+
+void
+DishaRecovery::loadState(Deserializer &d)
+{
+    freeTokens_ = d.u32();
+    waiting_.assign(d.u32(), kInvalidMsg);
+    for (MsgId &m : waiting_)
+        m = d.u32();
+    draining_.assign(d.u32(), Drain{});
+    for (Drain &dr : draining_) {
+        dr.msg = d.u32();
+        dr.eligibleAt = d.u64();
+        dr.headNode = d.u32();
+    }
+    auto &heap = pqContainer(deliveries_);
+    heap.clear();
+    heap.resize(d.u32());
+    for (PendingDelivery &pd : heap) {
+        pd.when = d.u64();
+        pd.msg = d.u32();
+    }
+}
+
 std::string
 DishaRecovery::name() const
 {

@@ -54,6 +54,8 @@ class DishaRecovery : public RecoveryManager
     void tick() override;
     void onMessageKilled(MsgId msg) override;
     std::size_t pending() const override;
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
     std::string name() const override;
 
     unsigned freeTokens() const { return freeTokens_; }

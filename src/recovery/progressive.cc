@@ -125,6 +125,48 @@ ProgressiveRecovery::pending() const
     return numDraining_ + deliveries_.size();
 }
 
+void
+ProgressiveRecovery::saveState(Serializer &s) const
+{
+    s.u64(static_cast<std::uint64_t>(draining_.size()));
+    for (const auto &list : draining_) {
+        s.u32(static_cast<std::uint32_t>(list.size()));
+        for (const MsgId m : list)
+            s.u32(m);
+    }
+    for (const std::size_t rr : drainRr_)
+        s.u64(rr);
+    s.u64(numDraining_);
+    const auto &heap = pqContainer(deliveries_);
+    s.u32(static_cast<std::uint32_t>(heap.size()));
+    for (const PendingDelivery &pd : heap) {
+        s.u64(pd.when);
+        s.u32(pd.msg);
+    }
+}
+
+void
+ProgressiveRecovery::loadState(Deserializer &d)
+{
+    draining_.assign(d.u64(), {});
+    for (auto &list : draining_) {
+        list.assign(d.u32(), kInvalidMsg);
+        for (MsgId &m : list)
+            m = d.u32();
+    }
+    drainRr_.assign(draining_.size(), 0);
+    for (std::size_t &rr : drainRr_)
+        rr = d.u64();
+    numDraining_ = d.u64();
+    auto &heap = pqContainer(deliveries_);
+    heap.clear();
+    heap.resize(d.u32());
+    for (PendingDelivery &pd : heap) {
+        pd.when = d.u64();
+        pd.msg = d.u32();
+    }
+}
+
 std::string
 ProgressiveRecovery::name() const
 {

@@ -49,6 +49,8 @@ class ProgressiveRecovery : public RecoveryManager
     void tick() override;
     void onMessageKilled(MsgId msg) override;
     std::size_t pending() const override;
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
     std::string name() const override;
 
     const ProgressiveParams &params() const { return params_; }

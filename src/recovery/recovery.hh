@@ -24,6 +24,7 @@
 #include <memory>
 #include <string>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace wormnet
@@ -58,6 +59,11 @@ class RecoveryManager
     /** Messages currently being recovered (draining or in flight on
      *  the recovery path). */
     virtual std::size_t pending() const = 0;
+
+    /** Checkpoint support: serialize all dynamic state. The header's
+     *  config string guarantees matching specs on save and load. */
+    virtual void saveState(Serializer &s) const { (void)s; }
+    virtual void loadState(Deserializer &d) { (void)d; }
 
     virtual std::string name() const = 0;
 };

@@ -81,6 +81,24 @@ RegressiveRecovery::pending() const
     return killList_.size();
 }
 
+void
+RegressiveRecovery::saveState(Serializer &s) const
+{
+    // killList_ is drained by tick() every cycle, so at a step
+    // boundary it is normally empty; serialize it anyway for safety.
+    s.u32(static_cast<std::uint32_t>(killList_.size()));
+    for (const MsgId m : killList_)
+        s.u32(m);
+}
+
+void
+RegressiveRecovery::loadState(Deserializer &d)
+{
+    killList_.assign(d.u32(), kInvalidMsg);
+    for (MsgId &m : killList_)
+        m = d.u32();
+}
+
 std::string
 RegressiveRecovery::name() const
 {

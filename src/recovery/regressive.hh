@@ -51,6 +51,8 @@ class RegressiveRecovery : public RecoveryManager
     void tick() override;
     void onMessageKilled(MsgId msg) override;
     std::size_t pending() const override;
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
     std::string name() const override;
 
     const RegressiveParams &params() const { return params_; }

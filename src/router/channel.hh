@@ -64,6 +64,40 @@ class FlitFifo
         size_ = 0;
     }
 
+    /**
+     * Checkpoint support: flits are written in pop order, so a
+     * restored FIFO is normalised to head_ == 0 with identical
+     * logical contents. Capacity is config-fixed and not written.
+     */
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        s.u32(static_cast<std::uint32_t>(size_));
+        for (std::size_t i = 0; i < size_; ++i) {
+            const Flit &f = buf_[(head_ + i) % buf_.size()];
+            s.u32(f.msg);
+            s.u8(static_cast<std::uint8_t>(f.type));
+            s.u64(f.readyAt);
+        }
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        clear();
+        const std::uint32_t n = d.u32();
+        WORMNET_ASSERT(n <= buf_.size());
+        for (std::uint32_t i = 0; i < n; ++i) {
+            Flit f;
+            f.msg = d.u32();
+            f.type = static_cast<FlitType>(d.u8());
+            f.readyAt = d.u64();
+            push(f);
+        }
+    }
+
   private:
     std::vector<Flit> buf_;
     std::size_t head_ = 0;
@@ -125,6 +159,41 @@ struct InputVc
         headBlockedSince = kNever;
         recovering = false;
     }
+
+    /** Checkpoint support. inRouteSet is rebuilt by the Network's
+     *  activity restore, not read back from the payload. */
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        fifo.saveState(s);
+        s.u32(msg);
+        s.boolean(routed);
+        s.u16(outPort);
+        s.u8(outVc);
+        s.u64(allocCycle);
+        s.boolean(attempted);
+        s.u32(lastFeasible);
+        s.u64(headBlockedSince);
+        s.boolean(recovering);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        fifo.loadState(d);
+        msg = d.u32();
+        routed = d.boolean();
+        outPort = d.u16();
+        outVc = d.u8();
+        allocCycle = d.u64();
+        attempted = d.boolean();
+        lastFeasible = d.u32();
+        headBlockedSince = d.u64();
+        recovering = d.boolean();
+        inRouteSet = false;
+    }
 };
 
 /**
@@ -148,6 +217,28 @@ struct OutputVc
         msg = kInvalidMsg;
         srcPort = kInvalidPort;
         srcVc = kInvalidVc;
+    }
+
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        s.boolean(allocated);
+        s.u32(msg);
+        s.u16(srcPort);
+        s.u8(srcVc);
+        s.u32(credits);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        allocated = d.boolean();
+        msg = d.u32();
+        srcPort = d.u16();
+        srcVc = d.u8();
+        credits = d.u32();
     }
 };
 

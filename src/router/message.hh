@@ -117,6 +117,71 @@ struct Message
     }
     /// @}
 
+    /**
+     * Checkpoint support. Only the logically held links (from the
+     * current front) are written, so a restored message is normalised
+     * to frontIdx_ == 0; pop order is unaffected.
+     */
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        s.u32(id);
+        s.u32(src);
+        s.u32(dst);
+        s.u32(length);
+        s.u64(genCycle);
+        s.u64(injectStartCycle);
+        s.u64(lastInjectCycle);
+        s.u64(deliverCycle);
+        s.u8(static_cast<std::uint8_t>(status));
+        s.u32(flitsInjected);
+        s.u32(flitsEjected);
+        s.boolean(measured);
+        s.u32(timesDetected);
+        s.u32(retries);
+        s.boolean(recovered);
+        s.boolean(faultKillQueued);
+        s.u32(static_cast<std::uint32_t>(numLinks()));
+        for (std::size_t i = 0; i < numLinks(); ++i) {
+            const PathLink &l = link(i);
+            s.u32(l.node);
+            s.u16(l.port);
+            s.u8(l.vc);
+        }
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        id = d.u32();
+        src = d.u32();
+        dst = d.u32();
+        length = d.u32();
+        genCycle = d.u64();
+        injectStartCycle = d.u64();
+        lastInjectCycle = d.u64();
+        deliverCycle = d.u64();
+        status = static_cast<MsgStatus>(d.u8());
+        flitsInjected = d.u32();
+        flitsEjected = d.u32();
+        measured = d.boolean();
+        timesDetected = d.u32();
+        retries = d.u32();
+        recovered = d.boolean();
+        faultKillQueued = d.boolean();
+        clearLinks();
+        const std::uint32_t n = d.u32();
+        links_.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const NodeId node = d.u32();
+            const PortId port = d.u16();
+            const VcId vc = d.u8();
+            pushLink(node, port, vc);
+        }
+    }
+
   private:
     std::vector<PathLink> links_;
     std::size_t frontIdx_ = 0;
@@ -158,6 +223,25 @@ class MessageStore
     }
 
     std::size_t size() const { return messages_.size(); }
+
+    /** Checkpoint support: the whole population, ids implicit. */
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        s.u64(static_cast<std::uint64_t>(messages_.size()));
+        for (const Message &m : messages_)
+            m.saveState(s);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        messages_.assign(d.u64(), Message{});
+        for (Message &m : messages_)
+            m.loadState(d);
+    }
 
   private:
     std::vector<Message> messages_;

@@ -148,6 +148,42 @@ class Router
     std::vector<unsigned> injRoundRobin;
     /// @}
 
+    /**
+     * Checkpoint support: dynamic state only. Link wiring (down_/up_)
+     * is topology-derived and rebuilt by the Network constructor.
+     */
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        for (const InputVc &vc : inputVcs_)
+            vc.saveState(s);
+        for (const OutputVc &vc : outputVcs_)
+            vc.saveState(s);
+        for (const Cycle c : lastTx_)
+            s.u64(c);
+        for (const unsigned r : saRoundRobin)
+            s.u32(r);
+        for (const unsigned r : injRoundRobin)
+            s.u32(r);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        for (InputVc &vc : inputVcs_)
+            vc.loadState(d);
+        for (OutputVc &vc : outputVcs_)
+            vc.loadState(d);
+        for (Cycle &c : lastTx_)
+            c = d.u64();
+        for (unsigned &r : saRoundRobin)
+            r = d.u32();
+        for (unsigned &r : injRoundRobin)
+            r = d.u32();
+    }
+
   private:
     NodeId node_;
     RouterParams params_;

@@ -83,6 +83,25 @@ class NodeBitset
         }
     }
 
+    /** Checkpoint support: word-for-word dump of the membership. */
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        s.u64(static_cast<std::uint64_t>(words_.size()));
+        for (const std::uint64_t w : words_)
+            s.u64(w);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        words_.assign(d.u64(), 0);
+        for (std::uint64_t &w : words_)
+            w = d.u64();
+    }
+
   private:
     std::vector<std::uint64_t> words_;
 };

@@ -1,0 +1,104 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'W', 'N', 'C', 'K', 'P', 'T', '0', '1'};
+
+} // namespace
+
+void
+writeCheckpointFile(const std::string &path,
+                    const std::string &config,
+                    const Serializer &payload)
+{
+    Serializer header;
+    for (const char c : kMagic)
+        header.u8(static_cast<std::uint8_t>(c));
+    header.u32(kCheckpointVersion);
+    header.u32(crc32(payload.bytes().data(), payload.bytes().size()));
+    header.u64(payload.bytes().size());
+    header.str(config);
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("cannot open checkpoint file '", tmp,
+                  "' for writing");
+        out.write(reinterpret_cast<const char *>(
+                      header.bytes().data()),
+                  static_cast<std::streamsize>(
+                      header.bytes().size()));
+        out.write(reinterpret_cast<const char *>(
+                      payload.bytes().data()),
+                  static_cast<std::streamsize>(
+                      payload.bytes().size()));
+        out.flush();
+        if (!out)
+            fatal("write to checkpoint file '", tmp, "' failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot rename checkpoint file '", tmp, "' to '",
+              path, "'");
+}
+
+std::vector<std::uint8_t>
+readCheckpointFile(const std::string &path,
+                   const std::string &expected_config)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open checkpoint file '", path, "'");
+    std::vector<std::uint8_t> raw(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        fatal("read of checkpoint file '", path, "' failed");
+
+    Deserializer d(raw.data(), raw.size());
+    if (d.remaining() < sizeof(kMagic))
+        fatal("checkpoint file '", path, "' is truncated");
+    char magic[sizeof(kMagic)];
+    for (char &c : magic)
+        c = static_cast<char>(d.u8());
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("'", path, "' is not a wormnet checkpoint file");
+    const std::uint32_t version = d.u32();
+    if (version != kCheckpointVersion)
+        fatal("checkpoint file '", path, "' has format version ",
+              version, "; this build reads version ",
+              kCheckpointVersion,
+              " (checkpoints do not migrate across layout changes)");
+    const std::uint32_t crc = d.u32();
+    const std::uint64_t size = d.u64();
+    const std::string config = d.str();
+    if (config != expected_config)
+        fatal("checkpoint file '", path,
+              "' was written by a different configuration\n"
+              "  checkpoint: ", config, "\n",
+              "  this run:   ", expected_config);
+    if (d.remaining() != size)
+        fatal("checkpoint file '", path, "' payload is ", d.remaining(),
+              " bytes; header promises ", size);
+
+    std::vector<std::uint8_t> payload(raw.end() -
+                                          static_cast<std::ptrdiff_t>(
+                                              size),
+                                      raw.end());
+    if (crc32(payload.data(), payload.size()) != crc)
+        fatal("checkpoint file '", path,
+              "' is corrupt (CRC mismatch)");
+    return payload;
+}
+
+} // namespace wormnet

@@ -92,6 +92,83 @@ struct SimStats
     RunningStat detectionLatency;
     /// @}
 
+    /** Checkpoint support: every counter and accumulator. */
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        s.u64(generated);
+        s.u64(injected);
+        s.u64(delivered);
+        s.u64(flitsDelivered);
+        s.u64(detections);
+        s.u64(kills);
+        s.u64(recoveredDeliveries);
+        s.u64(abandoned);
+        s.u64(faultsInjected);
+        s.u64(faultsRepaired);
+        s.u64(faultKills);
+        s.u64(faultReroutes);
+        s.u64(faultFlitsDropped);
+        s.u64(windowStart);
+        s.u64(wGenerated);
+        s.u64(wGeneratedFlits);
+        s.u64(wInjected);
+        s.u64(wDelivered);
+        s.u64(wFlitsDelivered);
+        s.u64(wDetectionEvents);
+        s.u64(wDetectedMessages);
+        s.u64(wTrueDetections);
+        s.u64(wFalseDetections);
+        s.u64(wKills);
+        s.u64(wRecoveredDeliveries);
+        latency.saveState(s);
+        netLatency.saveState(s);
+        latencyHist.saveState(s);
+        s.u64(trueDeadlockedMessages);
+        s.u64(maxDeadlockPersistence);
+        s.u64(currentlyDeadlocked);
+        detectionLatency.saveState(s);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        generated = d.u64();
+        injected = d.u64();
+        delivered = d.u64();
+        flitsDelivered = d.u64();
+        detections = d.u64();
+        kills = d.u64();
+        recoveredDeliveries = d.u64();
+        abandoned = d.u64();
+        faultsInjected = d.u64();
+        faultsRepaired = d.u64();
+        faultKills = d.u64();
+        faultReroutes = d.u64();
+        faultFlitsDropped = d.u64();
+        windowStart = d.u64();
+        wGenerated = d.u64();
+        wGeneratedFlits = d.u64();
+        wInjected = d.u64();
+        wDelivered = d.u64();
+        wFlitsDelivered = d.u64();
+        wDetectionEvents = d.u64();
+        wDetectedMessages = d.u64();
+        wTrueDetections = d.u64();
+        wFalseDetections = d.u64();
+        wKills = d.u64();
+        wRecoveredDeliveries = d.u64();
+        latency.loadState(d);
+        netLatency.loadState(d);
+        latencyHist.loadState(d);
+        trueDeadlockedMessages = d.u64();
+        maxDeadlockPersistence = d.u64();
+        currentlyDeadlocked = d.u64();
+        detectionLatency.loadState(d);
+    }
+
     /** Reset the measurement window at cycle @p now. */
     void
     startWindow(Cycle now)

@@ -6,9 +6,11 @@
 
 #include "common/contracts.hh"
 #include "common/log.hh"
+#include "common/serialize.hh"
 #include "fault/fault.hh"
 #include "recovery/recovery.hh"
 #include "sim/oracle.hh"
+#include "sim/reconfig.hh"
 
 namespace wormnet
 {
@@ -18,7 +20,7 @@ Network::Network(const Topology &topo, const NetworkParams &params,
                  RecoveryManager *recovery, TrafficPattern &pattern,
                  LengthDistribution &lengths, double flit_rate,
                  std::uint64_t seed)
-    : topo_(topo), params_(params), routing_(routing),
+    : topo_(topo), params_(params), routing_(&routing),
       detector_(detector), recovery_(recovery), pattern_(pattern),
       lengths_(lengths), rng_(seed)
 {
@@ -83,6 +85,7 @@ Network::Network(const Topology &topo, const NetworkParams &params,
     injVcBusy_.assign(n, 0);
     detActive_.init(n);
     detectorIdleStable_ = detector_.idleCycleEndStable();
+    detectorDeadMask_.assign(n, 0);
 
     // Steady-state churn should never reallocate the per-cycle
     // scratch buffers.
@@ -264,11 +267,87 @@ Network::attachFaultModel(FaultModel *faults)
         faults_->init(topo_, routerParams_, rng_.split().next());
 }
 
+void
+Network::attachReconfig(ReconfigManager *reconfig)
+{
+    reconfig_ = reconfig;
+    if (reconfig_)
+        reconfig_->bind(*this);
+}
+
+void
+Network::setRoutingFunction(RoutingFunction &routing)
+{
+    routing_ = &routing;
+}
+
+void
+Network::resetBlockedHeads()
+{
+    nodeScratch_.clear();
+    routeActive_.appendTo(nodeScratch_);
+    for (const NodeId node : nodeScratch_) {
+        Router &rt = routers_[node];
+        for (PortId p = 0; p < inPorts_; ++p) {
+            if (routablePerPort_[std::size_t(node) * inPorts_ + p] ==
+                0)
+                continue;
+            for (VcId v = 0; v < vcs_; ++v) {
+                InputVc &vc = rt.inputVc(p, v);
+                if (vc.free() || vc.routed || vc.recovering)
+                    continue;
+                // The next routing failure becomes a fresh first
+                // attempt under the new relation, re-seeding the
+                // detector's G/P (or blocked-since) state soundly.
+                vc.attempted = false;
+                vc.lastFeasible = 0;
+                vc.headBlockedSince = kNever;
+            }
+        }
+    }
+    detector_.onRoutingChanged();
+}
+
+PortMask
+Network::deadOutMask(NodeId node) const
+{
+    PortMask m = faults_ ? faults_->faultyOutMask(node) : 0;
+    if (reconfig_)
+        m |= reconfig_->adminDownMask(node);
+    return m;
+}
+
+bool
+Network::nodeOffline(NodeId node) const
+{
+    return (faults_ && faults_->routerFaulty(node)) ||
+           (reconfig_ && reconfig_->drained(node));
+}
+
+void
+Network::applyDeadPortChanges()
+{
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        const PortMask cur = deadOutMask(node);
+        PortMask diff = cur ^ detectorDeadMask_[node];
+        if (diff == 0)
+            continue;
+        while (diff) {
+            const PortId q =
+                static_cast<PortId>(__builtin_ctz(diff));
+            diff &= diff - 1;
+            detector_.onPortFaultChanged(node, q,
+                                         (cur >> q) & 1u);
+        }
+        detectorDeadMask_[node] = cur;
+    }
+}
+
 bool
 Network::portFaulty(NodeId node, PortId out_port) const
 {
-    return faults_ && out_port < routerParams_.netPorts &&
-           faults_->linkFaulty(node, out_port);
+    return out_port < routerParams_.netPorts &&
+           ((deadOutMask(node) >> out_port) & 1u);
 }
 
 void
@@ -325,30 +404,36 @@ Network::injectionAllowed(NodeId node) const
 void
 Network::faultTick()
 {
-    if (!faults_)
-        return;
-    const bool changed = faults_->tick(now_);
-    stats_.faultsInjected = faults_->faultsInjected();
-    stats_.faultsRepaired = faults_->faultsRepaired();
-    if (!changed)
-        return;
-    for (const FaultChange &c : faults_->changes())
-        detector_.onPortFaultChanged(c.node, c.outPort, c.faulty);
-    scanForStrandedWorms();
-    processFaultKills();
+    if (faults_) {
+        const bool changed = faults_->tick(now_);
+        stats_.faultsInjected = faults_->faultsInjected();
+        stats_.faultsRepaired = faults_->faultsRepaired();
+        if (changed) {
+            // Overlapping fault/admin causes are mediated: the
+            // detector hears only *combined* dead-state flips.
+            applyDeadPortChanges();
+            bool any_down = false;
+            for (const FaultChange &c : faults_->changes())
+                any_down |= c.faulty;
+            if (any_down)
+                scanForStrandedWorms();
+            processFaultKills();
+        }
+    }
+    // Reconfiguration epochs ride the same machinery, after fault
+    // processing so an epoch sees the cycle's final fault state.
+    if (reconfig_)
+        reconfig_->tick(now_);
 }
 
 void
 Network::scanForStrandedWorms()
 {
-    bool any_down = false;
-    for (const FaultChange &c : faults_->changes())
-        any_down |= c.faulty;
-    if (!any_down)
-        return;
-
+    // Callers only invoke this when a link or router actually went
+    // down (fault flip or reconfiguration removal); the scan itself
+    // is idempotent over the current dead-resource state.
     for (NodeId node = 0; node < numNodes(); ++node) {
-        const bool dead_router = faults_->routerFaulty(node);
+        const bool dead_router = nodeOffline(node);
         Router &rt = routers_[node];
         for (PortId p = 0; p < inPorts_; ++p) {
             for (VcId v = 0; v < vcs_; ++v) {
@@ -445,8 +530,8 @@ Network::generateAndInject()
     // active injectors — a queued message or an in-progress worm —
     // are worth a port/VC scan.
     for (NodeId node = 0; node < numNodes(); ++node) {
-        if (faults_ && faults_->routerFaulty(node))
-            continue; // a dead router neither generates nor injects
+        if (nodeOffline(node))
+            continue; // dead or drained: no generation, no injection
         if (auto gen = generators_[node].tick()) {
             if (params_.maxSourceQueue == 0 ||
                 sourceQueues_[node].size() < params_.maxSourceQueue) {
@@ -565,8 +650,7 @@ Network::routeAll()
     routeActive_.appendTo(nodeScratch_);
     for (const NodeId node : nodeScratch_) {
         Router &rt = routers_[node];
-        const PortMask fault_mask =
-            faults_ ? faults_->faultyOutMask(node) : 0;
+        const PortMask fault_mask = deadOutMask(node);
         const unsigned offset = (now_ + node) % inPorts_;
         for (unsigned i = 0; i < inPorts_; ++i) {
             const PortId port =
@@ -605,7 +689,7 @@ Network::routeOne(Router &rt, PortId port, VcId v,
         return;
 
     const Message &m = messages_.get(vc.msg);
-    routing_.route(rt.nodeId(), m.dst, port, v, candScratch_);
+    routing_->route(rt.nodeId(), m.dst, port, v, candScratch_);
 
     freeScratch_.clear();
     PortMask feasible = 0;
@@ -711,8 +795,7 @@ Network::switchAll()
     switchActive_.appendTo(nodeScratch_);
     for (const NodeId node : nodeScratch_) {
         Router &rt = routers_[node];
-        const PortMask fault_mask =
-            faults_ ? faults_->faultyOutMask(node) : 0;
+        const PortMask fault_mask = deadOutMask(node);
         // Ports without an allocated VC have no switch candidates;
         // iterating the mask's set bits ascending preserves the full
         // scan's port order.
@@ -987,11 +1070,11 @@ Network::detectorCycleEnd()
         // mask still comes from the allocation counters instead of a
         // per-port output-VC scan.
         for (NodeId node = 0; node < numNodes(); ++node) {
-            PortMask occupied = allocOutMask_[node];
-            // Dead channels are not timed: they will never transmit,
-            // so their inactivity says nothing about deadlock.
-            if (faults_)
-                occupied &= ~faults_->faultyOutMask(node);
+            // Dead channels (faulted or admin-removed) are not timed:
+            // they will never transmit, so their inactivity says
+            // nothing about deadlock.
+            const PortMask occupied =
+                allocOutMask_[node] & ~detectorDeadMask_[node];
             detector_.onCycleEnd(node, txMask_[node], occupied, now_);
         }
         return;
@@ -1005,9 +1088,8 @@ Network::detectorCycleEnd()
     nodeScratch_.clear();
     detActive_.appendTo(nodeScratch_);
     for (const NodeId node : nodeScratch_) {
-        PortMask occupied = allocOutMask_[node];
-        if (faults_)
-            occupied &= ~faults_->faultyOutMask(node);
+        const PortMask occupied =
+            allocOutMask_[node] & ~detectorDeadMask_[node];
         detector_.onCycleEnd(node, txMask_[node], occupied, now_);
         if (txMask_[node] == 0 && allocOutMask_[node] == 0)
             detActive_.erase(node);
@@ -1157,6 +1239,199 @@ Network::verifyActiveSets() const
     }
     ACTIVE_SET_CHECK(totalQueuedCount_ == queued);
     ACTIVE_SET_CHECK(txNodes_.size() == tx_nodes);
+}
+
+void
+Network::saveState(Serializer &s) const
+{
+    // Captured at a step() boundary: per-cycle scratch (txMask_,
+    // txNodes_, creditReturns_, faultKillQueue_, candidate buffers)
+    // is dead there and not written; the oracle cache is memoised
+    // per cycle and re-derived on demand.
+    s.u64(now_);
+    s.boolean(measuring_);
+    rng_.saveState(s);
+    for (const NodeGenerator &gen : generators_)
+        gen.saveState(s);
+    messages_.saveState(s);
+    for (const auto &queue : sourceQueues_) {
+        s.u32(static_cast<std::uint32_t>(queue.size()));
+        for (const MsgId id : queue)
+            s.u32(id);
+    }
+    {
+        // Raw heap array: equal-cycle re-injections must pop in the
+        // exact pre-checkpoint order.
+        const auto &heap = pqContainer(pendingReinjects_);
+        s.u32(static_cast<std::uint32_t>(heap.size()));
+        for (const Reinject &r : heap) {
+            s.u64(r.when);
+            s.u32(r.msg);
+        }
+    }
+    for (const Router &rt : routers_)
+        rt.saveState(s);
+    for (const std::uint64_t c : txCount_)
+        s.u64(c);
+    stats_.saveState(s);
+    // detActive_ is the one history-bearing activity set (one
+    // trailing cycle-end call per idle node); every other set is
+    // derived from router state and rebuilt on load.
+    detActive_.saveState(s);
+    s.u64(inFlight_);
+    {
+        // Deterministic order for the hash map.
+        std::vector<std::pair<MsgId, Cycle>> seen(
+            deadlockFirstSeen_.begin(), deadlockFirstSeen_.end());
+        std::sort(seen.begin(), seen.end());
+        s.u32(static_cast<std::uint32_t>(seen.size()));
+        for (const auto &[id, cycle] : seen) {
+            s.u32(id);
+            s.u64(cycle);
+        }
+    }
+    s.boolean(faults_ != nullptr);
+    if (faults_)
+        faults_->saveState(s);
+    s.boolean(reconfig_ != nullptr);
+    if (reconfig_)
+        reconfig_->saveState(s);
+    detector_.saveState(s);
+    s.boolean(recovery_ != nullptr);
+    if (recovery_)
+        recovery_->saveState(s);
+}
+
+void
+Network::loadState(Deserializer &d)
+{
+    now_ = d.u64();
+    measuring_ = d.boolean();
+    rng_.loadState(d);
+    for (NodeGenerator &gen : generators_)
+        gen.loadState(d);
+    messages_.loadState(d);
+    totalQueuedCount_ = 0;
+    for (auto &queue : sourceQueues_) {
+        queue.clear();
+        const std::uint32_t count = d.u32();
+        for (std::uint32_t i = 0; i < count; ++i)
+            queue.push_back(d.u32());
+        totalQueuedCount_ += count;
+    }
+    {
+        auto &heap = pqContainer(pendingReinjects_);
+        heap.clear();
+        heap.resize(d.u32());
+        for (Reinject &r : heap) {
+            r.when = d.u64();
+            r.msg = d.u32();
+        }
+    }
+    for (Router &rt : routers_)
+        rt.loadState(d);
+    for (std::uint64_t &c : txCount_)
+        c = d.u64();
+    stats_.loadState(d);
+    detActive_.loadState(d);
+    inFlight_ = d.u64();
+    deadlockFirstSeen_.clear();
+    {
+        const std::uint32_t count = d.u32();
+        deadlockFirstSeen_.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const MsgId id = d.u32();
+            const Cycle cycle = d.u64();
+            deadlockFirstSeen_.emplace(id, cycle);
+        }
+    }
+    if (d.boolean()) {
+        if (!faults_)
+            fatal("checkpoint carries fault-model state but no fault "
+                  "model is attached");
+        faults_->loadState(d);
+    } else if (faults_) {
+        fatal("fault model attached but checkpoint has none");
+    }
+    if (d.boolean()) {
+        if (!reconfig_)
+            fatal("checkpoint carries reconfiguration state but no "
+                  "reconfiguration manager is attached");
+        reconfig_->loadState(d);
+    } else if (reconfig_) {
+        fatal("reconfiguration manager attached but checkpoint has "
+              "none");
+    }
+    detector_.loadState(d);
+    if (d.boolean()) {
+        if (!recovery_)
+            fatal("checkpoint carries recovery state but no recovery "
+                  "manager is attached");
+        recovery_->loadState(d);
+    } else if (recovery_) {
+        fatal("recovery manager attached but checkpoint has none");
+    }
+
+    // Rebuild everything derived from the restored router state.
+    const NodeId n = numNodes();
+    routeActive_.init(n);
+    std::fill(routablePerPort_.begin(), routablePerPort_.end(), 0);
+    std::fill(routablePerNode_.begin(), routablePerNode_.end(), 0);
+    switchActive_.init(n);
+    std::fill(allocPerPort_.begin(), allocPerPort_.end(), 0);
+    std::fill(allocPerNode_.begin(), allocPerNode_.end(), 0);
+    std::fill(allocOutMask_.begin(), allocOutMask_.end(), 0);
+    std::fill(netAllocPerNode_.begin(), netAllocPerNode_.end(), 0);
+    injActive_.init(n);
+    std::fill(injVcBusy_.begin(), injVcBusy_.end(), 0);
+    for (NodeId node = 0; node < n; ++node) {
+        Router &rt = routers_[node];
+        for (PortId p = 0; p < inPorts_; ++p) {
+            for (VcId v = 0; v < vcs_; ++v) {
+                InputVc &vc = rt.inputVc(p, v);
+                const bool want = vc.msg != kInvalidMsg &&
+                                  !vc.routed && !vc.recovering;
+                if (want) {
+                    vc.inRouteSet = true;
+                    ++routablePerPort_[std::size_t(node) * inPorts_ +
+                                       p];
+                    if (routablePerNode_[node]++ == 0)
+                        routeActive_.insert(node);
+                }
+                if (p >= netPorts_ && vc.msg != kInvalidMsg)
+                    ++injVcBusy_[node];
+            }
+        }
+        for (PortId q = 0; q < outPorts_; ++q) {
+            for (VcId v = 0; v < vcs_; ++v) {
+                if (!rt.outputVc(q, v).allocated)
+                    continue;
+                if (allocPerPort_[std::size_t(node) * outPorts_ +
+                                  q]++ == 0)
+                    allocOutMask_[node] |= PortMask(1) << q;
+                if (allocPerNode_[node]++ == 0)
+                    switchActive_.insert(node);
+                if (q < netPorts_)
+                    ++netAllocPerNode_[node];
+            }
+        }
+        syncInjActive(node);
+        // The serialized detector state already reflects the dead
+        // ports at save time; only the derived mirror is rebuilt.
+        detectorDeadMask_[node] = deadOutMask(node);
+    }
+
+    // Per-cycle scratch and memoisation: clean slate.
+    std::fill(txMask_.begin(), txMask_.end(), 0);
+    txNodes_.clear();
+    creditReturns_.clear();
+    faultKillQueue_.clear();
+    oracleCacheCycle_ = kNever;
+    oracleCache_.clear();
+
+    if (!d.atEnd())
+        fatal("checkpoint payload has ", d.remaining(),
+              " unread bytes: writer/reader layout mismatch");
 }
 
 } // namespace wormnet

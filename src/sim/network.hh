@@ -51,6 +51,9 @@ namespace wormnet
 
 class RecoveryManager;
 class FaultModel;
+class ReconfigManager;
+class Serializer;
+class Deserializer;
 
 /** How the allocator picks among multiple free candidate VCs. */
 enum class VcSelection : std::uint8_t
@@ -127,12 +130,15 @@ class Network
 
     Cycle now() const { return now_; }
 
+    /** Inside the measurement window (startMeasurement() ran). */
+    bool measuring() const { return measuring_; }
+
     /** @name Component access. */
     /// @{
     const Topology &topology() const { return topo_; }
     const NetworkParams &params() const { return params_; }
     const RouterParams &routerParams() const { return routerParams_; }
-    const RoutingFunction &routing() const { return routing_; }
+    const RoutingFunction &routing() const { return *routing_; }
 
     NodeId numNodes() const { return topo_.numNodes(); }
 
@@ -173,8 +179,45 @@ class Network
 
     const FaultModel *faultModel() const { return faults_; }
 
-    /** The (node, out_port) link cannot currently transmit. Always
-     *  false without an attached fault model or for ejection ports. */
+    /**
+     * Attach a reconfiguration manager (not owned; nullptr detaches).
+     * It is ticked at the start of every step(), right after the
+     * fault model, and applies its plan's epochs through the same
+     * stranded-worm machinery faults use.
+     */
+    void attachReconfig(ReconfigManager *reconfig);
+
+    const ReconfigManager *reconfig() const { return reconfig_; }
+
+    /** Combined dead-output mask of @p node: faulted links plus
+     *  links administratively removed by reconfiguration. */
+    PortMask deadOutMask(NodeId node) const;
+
+    /** @p node neither routes nor generates traffic: its router is
+     *  faulted or administratively drained. */
+    bool nodeOffline(NodeId node) const;
+
+    /**
+     * Swap the routing function under a live network (online
+     * reconfiguration). The new function must be sized for this
+     * topology. Existing output-VC allocations are honoured; blocked
+     * heads must be re-presented via resetBlockedHeads() so their
+     * next attempt consults the new relation as a fresh first try.
+     */
+    void setRoutingFunction(RoutingFunction &routing);
+
+    /**
+     * Reset the blocked-header bookkeeping (attempted, lastFeasible,
+     * headBlockedSince) of every unrouted head and notify the
+     * detector via onRoutingChanged(). Called by the reconfiguration
+     * manager after a routing switch: detection state tied to the old
+     * routing relation is dropped and re-seeded soundly.
+     */
+    void resetBlockedHeads();
+
+    /** The (node, out_port) link cannot currently transmit — faulted,
+     *  or administratively removed by reconfiguration. Always false
+     *  for ejection ports. */
     bool portFaulty(NodeId node, PortId out_port) const;
 
     /** @name Channel utilisation (measurement window). */
@@ -256,7 +299,27 @@ class Network
     bool downstreamVcFree(const Router &rt, PortId out_port,
                           VcId vc) const;
 
+    /**
+     * @name Checkpoint support.
+     *
+     * saveState() captures every bit of dynamic state at a step()
+     * boundary: the clock, Rng streams, all router VC/buffer state,
+     * the message store, source queues, pending re-injections,
+     * statistics, activity sets, and the attached detector, recovery
+     * manager and fault model. Static configuration (topology,
+     * parameters, link wiring) is not written — the checkpoint
+     * header's config string guarantees the loading network was
+     * constructed identically. loadState() restores onto a freshly
+     * constructed network and is bitwise-deterministic: a resumed
+     * run produces exactly the cycles an uninterrupted run would.
+     */
+    /// @{
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
+    /// @}
+
   private:
+    friend class ReconfigManager;
     void generateAndInject();
     void tryStartInjection(NodeId node);
     void routeAll();
@@ -279,6 +342,17 @@ class Network
     /** Kill (re-queue or abandon) everything queued by the scan or by
      *  the routing phase. */
     void processFaultKills();
+
+    /**
+     * Reconcile the detector's per-port dead-channel view with the
+     * current deadOutMask(). Fault and admin causes overlap — a
+     * faulted link may also be admin-removed — so the detector's
+     * onPortFaultChanged() must fire only when the *combined* state
+     * flips, never when one cause joins or leaves an already-dead
+     * port. Fires for every port whose combined state differs from
+     * detectorDeadMask_, then updates the mask.
+     */
+    void applyDeadPortChanges();
     /// @}
 
     /** Release every VC, buffer and credit @p m's worm holds
@@ -360,7 +434,7 @@ class Network
     const Topology &topo_;
     NetworkParams params_;
     RouterParams routerParams_;
-    RoutingFunction &routing_;
+    RoutingFunction *routing_;
     DeadlockDetector &detector_;
     RecoveryManager *recovery_;
     TrafficPattern &pattern_;
@@ -371,6 +445,12 @@ class Network
     bool measuring_ = false;
     Tracer *tracer_ = nullptr;
     FaultModel *faults_ = nullptr;
+    ReconfigManager *reconfig_ = nullptr;
+
+    /** The detector's last-seen per-node dead-port masks (fault and
+     *  admin causes combined); see applyDeadPortChanges(). Derived
+     *  state: recomputed on checkpoint load, not serialized. */
+    std::vector<PortMask> detectorDeadMask_;
 
     /** Messages queued for a fault kill this cycle. */
     std::vector<MsgId> faultKillQueue_;

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Online topology reconfiguration.
+ *
+ * A ReconfigPlan is a timed sequence of administrative edits applied
+ * to a *live* network — no drain, no barrier: traffic keeps flowing
+ * while links are removed or restored, routers are taken out of
+ * service for maintenance, and the routing function itself is swapped
+ * (cf. the Double-Scheme and partial-progressive reconfiguration
+ * lines of work). All edits scheduled for one cycle form an *epoch*
+ * and are applied atomically between two simulator steps.
+ *
+ * Epoch semantics:
+ *  - An admin-removed link transmits nothing, exactly like a faulted
+ *    link; admin and fault causes are reference-counted separately
+ *    and compose (removing an already-faulted link is legal, as is a
+ *    fault on an admin-removed link). The deadlock detector hears
+ *    only *combined* dead-state flips.
+ *  - Draining a router takes the node plus every incident link (both
+ *    directions) out of service, mirroring FaultModel router faults.
+ *  - Worms caught across a removed resource are killed and re-queued
+ *    at their source through the same bounded-retry path fault kills
+ *    use; heads routed toward a removed link that have not crossed it
+ *    yet are backed out and re-routed live.
+ *  - A routing switch replaces the routing relation under the
+ *    in-flight worms. Granted output VCs are honoured (worms finish
+ *    their current hop chains); every *blocked* head is re-presented
+ *    to the new relation as a fresh first attempt, and the detector's
+ *    routing-dependent state is reset via onRoutingChanged() so no
+ *    stale presumed-deadlock verdict survives the switch.
+ *  - After applying an epoch the manager records how the transient
+ *    resolved (worms killed / rerouted / redelivered / abandoned,
+ *    settle cycle) and, when cross-checking is enabled, runs the
+ *    static channel-dependency analyzer on the post-epoch
+ *    configuration so runtime behaviour can be audited against the
+ *    offline verdict.
+ *
+ * Plan grammar (comma-separated items, see ReconfigPlan::parse):
+ *    link-:<a>><b>@<cycle>     remove the a->b link at <cycle>
+ *    link+:<a>><b>@<cycle>     restore a previously removed link
+ *    router-:<n>@<cycle>       drain router n (and incident links)
+ *    router+:<n>@<cycle>       restore router n
+ *    routing:<name>@<cycle>    switch to routing function <name>
+ *                              (tfa | dor | duato | westfirst)
+ */
+
+#ifndef WORMNET_SIM_RECONFIG_HH
+#define WORMNET_SIM_RECONFIG_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/cdg.hh"
+#include "common/serialize.hh"
+#include "common/types.hh"
+#include "router/router.hh"
+#include "routing/routing.hh"
+#include "topology/topology.hh"
+
+namespace wormnet
+{
+
+class Network;
+
+/** One administrative edit of a reconfiguration plan. */
+struct ReconfigEdit
+{
+    enum class Kind : std::uint8_t
+    {
+        LinkDown,      ///< remove one directed link
+        LinkUp,        ///< restore one directed link
+        RouterDrain,   ///< take a router out of service
+        RouterRestore, ///< return a drained router to service
+        RoutingSwitch, ///< swap the routing function
+    };
+
+    Kind kind = Kind::LinkDown;
+    NodeId node = kInvalidNode;  ///< link source, or the router
+    NodeId peer = kInvalidNode;  ///< link destination (links only)
+    std::string routingSpec;     ///< RoutingSwitch only
+    Cycle at = 0;                ///< activation cycle
+};
+
+/** A parsed plan: edits stable-sorted by activation cycle. */
+struct ReconfigPlan
+{
+    std::vector<ReconfigEdit> edits;
+
+    bool empty() const { return edits.empty(); }
+
+    /**
+     * Parse a "--reconfig" spec string (grammar in the file header).
+     * fatal() with a usage hint on any malformed item. Validation
+     * against a concrete topology (does the link exist, do restores
+     * balance removals) happens at ReconfigManager::bind() or
+     * analyzePlanStatic().
+     */
+    static ReconfigPlan parse(const std::string &spec);
+};
+
+/** How one applied epoch played out at runtime. */
+struct EpochRecord
+{
+    Cycle cycle = 0;      ///< activation cycle
+    unsigned edits = 0;   ///< edits applied in this epoch
+
+    /** Routing function in force after the epoch. */
+    std::string routingAfter;
+
+    /** Static analyzer verdict on the post-epoch configuration
+     *  (empty when cross-checking is disabled). */
+    std::string staticVerdict;
+
+    /** @name Transient bookkeeping. */
+    /// @{
+    std::uint64_t killed = 0;    ///< worms killed by this epoch
+    std::uint64_t rerouted = 0;  ///< heads backed off removed links
+    /** Of the killed worms: delivered after re-injection so far. */
+    std::uint64_t redelivered = 0;
+    /** Of the killed worms: abandoned (retry budget exhausted). */
+    std::uint64_t abandonedOfKilled = 0;
+    /** First cycle at which every killed worm reached a terminal
+     *  state (delivered or abandoned); kNever while outstanding. */
+    Cycle settleCycle = kNever;
+    /// @}
+
+    /** @name Detection health snapshot at apply time. */
+    /// @{
+    std::uint64_t detectionsAtApply = 0; ///< lifetime verdicts so far
+    std::uint64_t falseAtApply = 0;      ///< windowed false detections
+    /** Oracle-confirmed deadlocked messages present at apply. */
+    std::uint64_t oracleDeadlockedAtApply = 0;
+    /// @}
+
+    bool settled() const { return settleCycle != kNever; }
+};
+
+/** Static analyzer result for one epoch of a plan. */
+struct EpochStaticResult
+{
+    Cycle cycle = 0;      ///< epoch activation cycle
+    unsigned edits = 0;   ///< edits in this epoch
+    std::string routing;  ///< routing in force after the epoch
+    CdgReport report;     ///< full static analysis of the config
+};
+
+/**
+ * Offline what-if analysis of a reconfiguration plan: fold each
+ * epoch's edits into the admin dead-resource state, and run the
+ * static channel-dependency analyzer on every post-epoch
+ * configuration (epoch 0 entry = the initial configuration before
+ * any edit). Shares the plan format and resolution rules with the
+ * runtime manager, so `wormnet-analyze --reconfig` and the live
+ * cross-check can never diverge on what a plan means. fatal() on
+ * plans that reference missing links/nodes or unbalance restores.
+ *
+ * @param base static faults merged into every epoch (from --faults).
+ */
+std::vector<EpochStaticResult>
+analyzePlanStatic(const ReconfigPlan &plan, const Topology &topo,
+                  const RouterParams &params,
+                  const std::string &initial_routing,
+                  const CdgFaults &base = {});
+
+/**
+ * Applies a ReconfigPlan to a live Network and records per-epoch
+ * outcome. Owned by the Simulation (or a test), attached via
+ * Network::attachReconfig(), ticked once per cycle right after the
+ * fault model.
+ *
+ * Admin link removals are reference-counted per directed link
+ * (an explicit link- plus an overlapping router drain compose and
+ * restore independently), mirroring the FaultModel.
+ */
+class ReconfigManager
+{
+  public:
+    /**
+     * @param plan the parsed edit plan
+     * @param cross_check run the static CDG analyzer on every
+     *        post-epoch configuration and record the verdict
+     */
+    explicit ReconfigManager(ReconfigPlan plan,
+                             bool cross_check = true);
+
+    /**
+     * Resolve the plan against @p net's topology: map link endpoints
+     * to output ports, dry-run the admin reference counts (fatal on
+     * a restore without a matching removal), and pre-construct every
+     * routing function the plan switches to. Called by
+     * Network::attachReconfig().
+     */
+    void bind(Network &net);
+
+    /**
+     * Advance to cycle @p now: apply due epochs through the
+     * stranded-worm machinery, then update the settle bookkeeping of
+     * every epoch with outstanding killed worms.
+     */
+    void tick(Cycle now);
+
+    /** @name Current admin state (queried by the Network). */
+    /// @{
+    /** Bitmask of admin-removed *network* output ports of @p node. */
+    PortMask
+    adminDownMask(NodeId node) const
+    {
+        return adminMask_[node];
+    }
+
+    /** Router @p node is drained (out of service). */
+    bool drained(NodeId node) const { return drainCount_[node] != 0; }
+
+    /** Links admin-removed right now (directions count separately). */
+    std::size_t activeLinkRemovals() const { return activeLinks_; }
+
+    /** Routers drained right now. */
+    std::size_t activeDrains() const { return activeDrains_; }
+    /// @}
+
+    /** @name Progress. */
+    /// @{
+    /** Epochs applied so far (records grow as epochs fire). */
+    const std::vector<EpochRecord> &epochs() const
+    {
+        return records_;
+    }
+
+    /** Every epoch has been applied. */
+    bool planExhausted() const { return nextEdit_ >= plan_.edits.size(); }
+
+    /** Every epoch applied and every killed worm terminal. */
+    bool settled() const;
+    /// @}
+
+    const ReconfigPlan &plan() const { return plan_; }
+
+    /** @name Checkpoint support. The plan itself is config (rebuilt
+     *  by bind()); admin counts, applied-epoch records and the
+     *  outstanding killed-worm lists are written. The active routing
+     *  function is re-installed on the network during loadState(). */
+    /// @{
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
+    /// @}
+
+  private:
+    /** Plan edit resolved against the topology. */
+    struct ResolvedEdit
+    {
+        ReconfigEdit::Kind kind;
+        NodeId node = kInvalidNode;
+        PortId outPort = kInvalidPort; ///< links only
+        /** RoutingSwitch: index into routings_. */
+        std::int32_t routingIdx = -1;
+        Cycle at = 0;
+    };
+
+    /** Adjust one directed link's admin reference count. */
+    void addLinkCause(NodeId node, PortId out_port, int delta);
+
+    /** Apply one resolved edit's admin flips. */
+    void applyEdit(const ResolvedEdit &e);
+
+    /** Apply every due epoch at cycle @p now. */
+    void applyDueEpochs(Cycle now);
+
+    /** Classify outstanding killed worms of unsettled epochs. */
+    void updateSettle(Cycle now);
+
+    /** Static cross-check of the current live configuration. */
+    std::string crossCheckNow() const;
+
+    ReconfigPlan plan_;
+    bool crossCheck_;
+
+    Network *net_ = nullptr;
+    const Topology *topo_ = nullptr;
+    unsigned netPorts_ = 0;
+
+    /** Plan resolved to (node, out_port / routing idx); cycle order. */
+    std::vector<ResolvedEdit> resolved_;
+    std::size_t nextEdit_ = 0;
+
+    /** Routing functions the plan switches to, pre-built at bind().
+     *  Old functions are kept alive: granted paths may still be
+     *  inspected, and checkpoints index into this vector. */
+    std::vector<std::unique_ptr<RoutingFunction>> routings_;
+    /** Active function: -1 = the network's construction-time one. */
+    std::int32_t currentRouting_ = -1;
+
+    /** Per (node, network out port): active admin-removal causes. */
+    std::vector<std::uint8_t> adminCount_;
+    /** Per node: bitmask of admin-removed network output ports. */
+    std::vector<PortMask> adminMask_;
+    /** Per node: active drain causes (plan edits are the only source
+     *  today, but counted for symmetry with the FaultModel). */
+    std::vector<std::uint8_t> drainCount_;
+
+    std::size_t activeLinks_ = 0;
+    std::size_t activeDrains_ = 0;
+
+    /** One record per applied epoch, in application order. */
+    std::vector<EpochRecord> records_;
+    /** Per applied epoch: killed worms not yet terminal. */
+    std::vector<std::vector<MsgId>> pending_;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_SIM_RECONFIG_HH

@@ -63,6 +63,26 @@ class NodeGenerator
     /** Change the offered load (used by saturation sweeps). */
     void setFlitRate(double flit_rate);
 
+    /** Checkpoint support: the Rng stream, drop counter and current
+     *  rate. The derived probability is recomputed on load. */
+    template <typename S>
+    void
+    saveState(S &s) const
+    {
+        rng_.saveState(s);
+        s.u64(selfDrops_);
+        s.f64(flitRate_);
+    }
+
+    template <typename D>
+    void
+    loadState(D &d)
+    {
+        rng_.loadState(d);
+        selfDrops_ = d.u64();
+        setFlitRate(d.f64());
+    }
+
   private:
     NodeId node_;
     TrafficPattern &pattern_;

@@ -190,6 +190,55 @@ TEST(Fault, PermanentFaultExhaustsRetriesAndAbandons)
     EXPECT_EQ(s.wFalseDetections, 0u);
 }
 
+TEST(Fault, RetryExhaustionWhileLinkMidRepairAbandonsExactlyOnce)
+{
+    // The worm straddles 2->3 when it faults at cycle 20 and is
+    // killed; with a budget of one retry the re-injected attempt is
+    // killed again at router 2 (link still down) and abandoned —
+    // long before the repair lands at cycle 420. The repair must
+    // neither resurrect the abandoned worm nor double-count
+    // anything: exactly one abandonment, exactly one repair, and the
+    // abandoned status is terminal.
+    SimulationConfig cfg = ringFaultConfig();
+    cfg.faults = "link:2>3@20";
+    cfg.faultRepair = 400;
+    cfg.maxRetries = 1;
+    Simulation sim(cfg);
+    Network &net = sim.net();
+    const MsgId id = net.injectMessage(0, 3, 64);
+
+    net.run(300); // fault active, retries burned, repair pending
+    {
+        const Message &m = net.messages().get(id);
+        EXPECT_EQ(m.status, MsgStatus::Abandoned);
+        EXPECT_EQ(m.retries, 1u);
+    }
+    EXPECT_EQ(net.stats().abandoned, 1u);
+    EXPECT_EQ(net.stats().faultKills, 2u); // strand + failed retry
+    EXPECT_EQ(net.stats().faultsRepaired, 0u);
+
+    net.run(2700); // repair at ~420, then a long quiet tail
+    validateNetworkInvariants(net);
+    {
+        const Message &m = net.messages().get(id);
+        EXPECT_EQ(m.status, MsgStatus::Abandoned)
+            << "repair resurrected an abandoned worm";
+        EXPECT_EQ(m.retries, 1u);
+    }
+    const SimStats &s = net.stats();
+    EXPECT_EQ(s.abandoned, 1u);
+    EXPECT_EQ(s.faultKills, 2u);
+    EXPECT_EQ(s.faultsRepaired, 1u);
+    EXPECT_EQ(s.delivered, 0u);
+    EXPECT_EQ(net.inFlight(), 0u);
+
+    // The repaired link carries fresh traffic again.
+    const MsgId id2 = net.injectMessage(0, 3, 16);
+    net.run(500);
+    EXPECT_EQ(net.messages().get(id2).status, MsgStatus::Delivered);
+    EXPECT_EQ(net.stats().abandoned, 1u);
+}
+
 TEST(Fault, FaultedPortsNeverInFeasibleSetsUnderLoad)
 {
     // Random traffic over a torus with a permanent link fault: at
