@@ -23,15 +23,22 @@ GOLDEN_DIR=tests/golden
 DEFAULT_ARGS=" --quick --quiet --radix 4 --dims 2 --sat 0.6 --warmup 400 --measure 1500"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-    table1_pdm_uniform table2_ndm_uniform table7_ndm_hotspot
+    table1_pdm_uniform table2_ndm_uniform table7_ndm_hotspot \
+    ablation_detectors
 
 mkdir -p "$GOLDEN_DIR"
 for table in table1_pdm_uniform:table1_quick.txt \
              table2_ndm_uniform:table2_quick.txt \
-             table7_ndm_hotspot:table7_quick.txt; do
+             table7_ndm_hotspot:table7_quick.txt \
+             ablation_detectors:ablation_detectors_quick.json; do
     binary=${table%%:*}
     golden=$GOLDEN_DIR/${table##*:}
+    # New snapshots default to the table profile; the JSON ablations
+    # take their own "--quick --seed 1" profile instead.
     args=$DEFAULT_ARGS
+    if [[ $golden == *.json ]]; then
+        args=" --quick --seed 1"
+    fi
     if [[ -f $golden ]]; then
         args=$(head -n 1 "$golden" | sed 's/^# args://')
     fi

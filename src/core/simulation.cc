@@ -185,6 +185,12 @@ Simulation::summary() const
     out.faultKills = s.faultKills;
     out.faultReroutes = s.faultReroutes;
     out.abandoned = s.abandoned;
+    out.ctrlFlits = s.windowCtrlFlits();
+    out.ctrlFlitHops = s.windowCtrlFlitHops();
+    out.ctrlBytes = s.windowCtrlBytes();
+    out.avgDetectionLatency = s.detectionLatency.count() > 0
+                                  ? s.detectionLatency.mean()
+                                  : 0.0;
     return out;
 }
 
@@ -213,6 +219,15 @@ SimSummary::toString() const
            << "fault kills/reroutes:   " << faultKills << " / "
            << faultReroutes << '\n'
            << "messages abandoned:     " << abandoned << '\n';
+    }
+    if (ctrlFlits > 0) {
+        os << "control flits:          " << ctrlFlits << " ("
+           << ctrlFlitHops << " flit-hops, " << ctrlBytes
+           << " bytes)\n";
+    }
+    if (avgDetectionLatency > 0.0) {
+        os << "mean detection latency: " << avgDetectionLatency
+           << " cycles\n";
     }
     return os.str();
 }

@@ -144,6 +144,19 @@ struct SimSummary
     std::uint64_t abandoned = 0;
     /// @}
 
+    /** @name Detector control-plane overhead (measurement window;
+     *  zero for purely local mechanisms). */
+    /// @{
+    std::uint64_t ctrlFlits = 0;
+    std::uint64_t ctrlFlitHops = 0;
+    std::uint64_t ctrlBytes = 0;
+    /// @}
+
+    /** Mean cycles from the oracle first seeing a message
+     *  deadlocked to the detector marking it (oracle-period
+     *  granularity; 0 without confirmed detections). */
+    double avgDetectionLatency = 0.0;
+
     /** Multi-line human-readable report. */
     std::string toString() const;
 };
@@ -180,6 +193,10 @@ class Simulation
     {
         return reconfig_.get();
     }
+
+    /** The attached deadlock detector (white-box inspection in
+     *  tests; downcast to the concrete mechanism if needed). */
+    const DeadlockDetector &detector() const { return *detector_; }
 
     /**
      * @name Checkpoint/restore.

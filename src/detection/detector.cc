@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "detection/dwfg.hh"
 #include "detection/ndm.hh"
 #include "detection/pdm.hh"
 #include "detection/source_timeout.hh"
@@ -75,6 +76,30 @@ makeDetector(const std::string &spec)
                 fatal("unknown pdm option '", parts[i], "'");
         }
         return std::make_unique<PdmDetector>(p);
+    }
+
+    if (kind == "dwfg") {
+        DwfgParams p;
+        bool trigger_set = false;
+        for (std::size_t i = 1; i < parts.size(); ++i) {
+            const std::string &opt = parts[i];
+            if (opt.rfind("bw=", 0) == 0) {
+                p.bandwidth = static_cast<unsigned>(
+                    parseCycle(opt.substr(3), "dwfg bandwidth"));
+            } else if (opt.rfind("hop=", 0) == 0) {
+                p.hopLatency =
+                    parseCycle(opt.substr(4), "dwfg hop latency");
+            } else if (opt.rfind("retry=", 0) == 0) {
+                p.retryDelay =
+                    parseCycle(opt.substr(6), "dwfg retry delay");
+            } else if (!trigger_set) {
+                p.trigger = parseCycle(opt, "dwfg trigger");
+                trigger_set = true;
+            } else {
+                fatal("unknown dwfg option '", opt, "'");
+            }
+        }
+        return std::make_unique<DwfgDetector>(p);
     }
 
     if (kind == "timeout") {

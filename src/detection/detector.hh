@@ -32,6 +32,7 @@ namespace wormnet
 {
 
 class Config;
+class Topology;
 
 /** Static shape information handed to detectors at start-up. */
 struct DetectorContext
@@ -40,6 +41,42 @@ struct DetectorContext
     unsigned numInPorts = 0;  ///< per router, incl. injection ports
     unsigned numOutPorts = 0; ///< per router, incl. ejection ports
     unsigned vcs = 0;         ///< virtual channels per physical channel
+    /**
+     * The network topology, for detectors that model control messages
+     * travelling between routers (neighbour lookups, hop distances
+     * for bandwidth accounting). Null in unit tests that exercise
+     * purely channel-local mechanisms; such detectors must not
+     * require it.
+     */
+    const Topology *topo = nullptr;
+};
+
+/**
+ * One feasible (non-faulted) routing candidate of a blocked head, as
+ * reported through onBlockedCandidates(): the routing function
+ * offered @p port with the VCs in @p vcMask and all of them were
+ * busy. This is local information — the router's own routing logic
+ * computed it while failing to allocate.
+ */
+struct BlockedCandidate
+{
+    PortId port = kInvalidPort;
+    std::uint32_t vcMask = 0;
+};
+
+/**
+ * Cumulative control-plane traffic a detector has consumed since
+ * init(). Mechanisms that ship state between routers (distributed
+ * wait-for-graph probes) account every modeled control message here;
+ * purely local mechanisms (NDM/PDM/timeouts) stay at zero, which is
+ * exactly the paper's "local information only" claim. Polled once
+ * per cycle by the Network into SimStats.
+ */
+struct ControlTraffic
+{
+    std::uint64_t flits = 0;    ///< control flits sent
+    std::uint64_t flitHops = 0; ///< control flits x hops traversed
+    std::uint64_t bytes = 0;    ///< control payload bytes sent
 };
 
 /** Abstract distributed deadlock detector. */
@@ -69,14 +106,94 @@ class DeadlockDetector
                                  bool input_pc_fully_busy,
                                  bool first_attempt, Cycle now) = 0;
 
-    /** A worm on (@p router, @p in_port, @p in_vc) was granted an
-     *  output VC (fires on every grant, first-try or not). */
+    /** A worm on (@p router, @p in_port, @p in_vc) was granted
+     *  output VC (@p out_port, @p out_vc) (fires on every grant,
+     *  first-try or not). Channel-local mechanisms ignore the output
+     *  coordinates; graph-building mechanisms use them to mirror the
+     *  worm's path. */
     virtual void
-    onMessageRouted(NodeId router, PortId in_port, VcId in_vc)
+    onMessageRouted(NodeId router, PortId in_port, VcId in_vc,
+                    MsgId msg, PortId out_port, VcId out_vc)
     {
         (void)router;
         (void)in_port;
         (void)in_vc;
+        (void)msg;
+        (void)out_port;
+        (void)out_vc;
+    }
+
+    /**
+     * A head flit entered input VC (@p router, @p in_port, @p in_vc)
+     * — the channel transitioned free -> occupied by @p msg. Fires
+     * for network arrivals and for injection starts alike.
+     */
+    virtual void
+    onChannelOccupied(NodeId router, PortId in_port, VcId in_vc,
+                      MsgId msg)
+    {
+        (void)router;
+        (void)in_port;
+        (void)in_vc;
+        (void)msg;
+    }
+
+    /**
+     * A previously granted route for the head in (@p router,
+     * @p in_port, @p in_vc) was backed out before any flit crossed
+     * (the output link died under it); the head will re-route. The
+     * channel stays occupied by the same worm.
+     */
+    virtual void
+    onRouteRetracted(NodeId router, PortId in_port, VcId in_vc)
+    {
+        (void)router;
+        (void)in_port;
+        (void)in_vc;
+    }
+
+    /**
+     * Recovery took over the head in (@p router, @p in_port,
+     * @p in_vc): the worm stops taking part in routing (the oracle no
+     * longer counts it blocked) and will drain or be killed through
+     * the recovery path. Exact mechanisms must drop any wait-for
+     * state involving this channel.
+     */
+    virtual void
+    onHeadRecovering(NodeId router, PortId in_port, VcId in_vc)
+    {
+        (void)router;
+        (void)in_port;
+        (void)in_vc;
+    }
+
+    /**
+     * True when this detector wants onBlockedCandidates() on every
+     * routing failure. Gated so channel-local mechanisms keep the
+     * candidate list off the hot path entirely.
+     */
+    virtual bool wantsBlockedCandidates() const { return false; }
+
+    /**
+     * The complete feasible candidate set the head in (@p router,
+     * @p in_port, @p in_vc) failed to allocate this cycle — every
+     * non-faulted (port, vcMask) the routing function offered. Fires
+     * immediately before the matching onRoutingFailed() and only when
+     * wantsBlockedCandidates() is true. The pointer is valid only for
+     * the duration of the call.
+     */
+    virtual void
+    onBlockedCandidates(NodeId router, PortId in_port, VcId in_vc,
+                        MsgId msg, const BlockedCandidate *cands,
+                        std::size_t count, Cycle now)
+    {
+        (void)router;
+        (void)in_port;
+        (void)in_vc;
+        (void)msg;
+        (void)cands;
+        (void)count;
+        (void)now;
     }
 
     /** A worm's tail left (@p router, @p in_port, @p in_vc). */
@@ -171,6 +288,10 @@ class DeadlockDetector
     virtual void saveState(Serializer &s) const { (void)s; }
     virtual void loadState(Deserializer &d) { (void)d; }
 
+    /** Cumulative control-plane traffic since init(); see
+     *  ControlTraffic. Local mechanisms keep the zero default. */
+    virtual ControlTraffic controlTraffic() const { return {}; }
+
     /** Detector name for reports. */
     virtual std::string name() const = 0;
 };
@@ -182,6 +303,8 @@ class DeadlockDetector
  *   "timeout:<threshold>"            (header-blocked, Disha-style)
  *   "src-age-timeout:<threshold>"    (Reeves et al.)
  *   "inj-stall-timeout:<threshold>"  (compressionless routing)
+ *   "dwfg[:<trigger>][:bw=<n>][:hop=<n>][:retry=<n>]"
+ *       exact distributed wait-for-graph detection (see dwfg.hh)
  *   "none"
  */
 std::unique_ptr<DeadlockDetector>

@@ -1,0 +1,613 @@
+#include "detection/dwfg.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/contracts.hh"
+#include "common/log.hh"
+
+namespace wormnet
+{
+
+namespace
+{
+
+/** Modeled control-message shape: a fixed token header plus one
+ *  packed word per carried sample, shipped as control flits with a
+ *  16-byte payload each. */
+constexpr std::uint64_t kTokenHeaderBytes = 16;
+constexpr std::uint64_t kSampleBytes = 8;
+constexpr std::uint64_t kFlitPayloadBytes = 16;
+
+} // namespace
+
+DwfgDetector::DwfgDetector(const DwfgParams &params) : params_(params)
+{
+    if (params_.bandwidth == 0)
+        fatal("dwfg bandwidth must be >= 1");
+    if (params_.hopLatency == 0)
+        fatal("dwfg hop latency must be >= 1");
+}
+
+void
+DwfgDetector::init(const DetectorContext &ctx)
+{
+    ctx_ = ctx;
+    if (ctx_.topo == nullptr)
+        fatal("dwfg detector needs the topology in DetectorContext "
+              "(control tokens travel between routers)");
+    netPorts_ = ctx_.topo->numNetPorts();
+    channels_.assign(std::size_t(ctx_.numRouters) * ctx_.numInPorts *
+                         ctx_.vcs,
+                     Channel{});
+    probes_.clear();
+    nextProbeId_ = 0;
+    ctrl_ = ControlTraffic{};
+    probesLaunched_ = probesAborted_ = probesConfirmed_ = 0;
+    sends_.assign(ctx_.numRouters, 0);
+    sendsCycle_ = kNever;
+}
+
+ChanId
+DwfgDetector::downstreamChan(NodeId router, PortId out_port,
+                             VcId out_vc) const
+{
+    WORMNET_ASSERT(!isEjection(out_port));
+    const unsigned dim = Topology::dimOfPort(out_port);
+    const bool pos = Topology::isPositivePort(out_port);
+    const NodeId peer = ctx_.topo->neighbor(router, dim, pos);
+    if (peer == kInvalidNode)
+        return kInvalidChan; // dangling mesh-edge port
+    return chanId(peer, Topology::peerInPort(out_port), out_vc);
+}
+
+void
+DwfgDetector::bumpEpoch(Channel &ch)
+{
+    ++ch.epoch;
+}
+
+void
+DwfgDetector::clearBlocked(Channel &ch)
+{
+    ch.firstFail = kNever;
+    ch.lastFail = kNever;
+    ch.cands.clear();
+}
+
+void
+DwfgDetector::onChannelOccupied(NodeId router, PortId in_port,
+                                VcId in_vc, MsgId msg)
+{
+    Channel &ch = chan(chanId(router, in_port, in_vc));
+    ch.msg = msg;
+    ch.routed = false;
+    ch.outPort = kInvalidPort;
+    ch.outVc = kInvalidVc;
+    clearBlocked(ch);
+    ch.confirmed = false;
+    ch.verdictSamples.clear();
+    bumpEpoch(ch);
+}
+
+void
+DwfgDetector::onMessageRouted(NodeId router, PortId in_port,
+                              VcId in_vc, MsgId msg, PortId out_port,
+                              VcId out_vc)
+{
+    Channel &ch = chan(chanId(router, in_port, in_vc));
+    WORMNET_ASSERT(ch.msg == msg);
+    (void)msg;
+    ch.routed = true;
+    ch.outPort = out_port;
+    ch.outVc = out_vc;
+    clearBlocked(ch);
+    ch.confirmed = false;
+    ch.verdictSamples.clear();
+    bumpEpoch(ch);
+}
+
+void
+DwfgDetector::onRouteRetracted(NodeId router, PortId in_port,
+                               VcId in_vc)
+{
+    Channel &ch = chan(chanId(router, in_port, in_vc));
+    ch.routed = false;
+    ch.outPort = kInvalidPort;
+    ch.outVc = kInvalidVc;
+    clearBlocked(ch);
+    bumpEpoch(ch);
+}
+
+void
+DwfgDetector::onHeadRecovering(NodeId router, PortId in_port,
+                               VcId in_vc)
+{
+    // The worm leaves the wait-for graph: recovery will drain or kill
+    // it, so "no progress since the epoch was read" must stop holding
+    // for any probe that sampled this head.
+    Channel &ch = chan(chanId(router, in_port, in_vc));
+    clearBlocked(ch);
+    ch.confirmed = false;
+    ch.verdictSamples.clear();
+    bumpEpoch(ch);
+}
+
+void
+DwfgDetector::onInputVcFreed(NodeId router, PortId in_port,
+                             VcId in_vc)
+{
+    Channel &ch = chan(chanId(router, in_port, in_vc));
+    ch.msg = kInvalidMsg;
+    ch.routed = false;
+    ch.outPort = kInvalidPort;
+    ch.outVc = kInvalidVc;
+    clearBlocked(ch);
+    ch.confirmed = false;
+    ch.verdictSamples.clear();
+    bumpEpoch(ch);
+}
+
+void
+DwfgDetector::onBlockedCandidates(NodeId router, PortId in_port,
+                                  VcId in_vc, MsgId msg,
+                                  const BlockedCandidate *cands,
+                                  std::size_t count, Cycle now)
+{
+    Channel &ch = chan(chanId(router, in_port, in_vc));
+    WORMNET_ASSERT(ch.msg == msg);
+    (void)msg;
+    if (ch.firstFail == kNever)
+        ch.firstFail = now;
+    ch.lastFail = now;
+    ch.cands.assign(cands, cands + count);
+}
+
+bool
+DwfgDetector::onRoutingFailed(NodeId router, PortId in_port,
+                              VcId in_vc, MsgId msg, PortMask, bool,
+                              bool, Cycle now)
+{
+    // Verdict delivery point: a probe returned a verified deadlock
+    // for this channel. Guard once more against anything that moved
+    // since the report travelled home — the re-check over the stored
+    // snapshot is modeled at zero cost and stands in for the
+    // invalidation messages recovery hardware would broadcast. The
+    // guard can only suppress a verdict, never create one.
+    Channel &ch = chan(chanId(router, in_port, in_vc));
+    WORMNET_ASSERT(ch.msg == msg);
+    (void)msg;
+    if (!ch.confirmed)
+        return false;
+    bool intact = true;
+    for (const Sample &s : ch.verdictSamples) {
+        const Channel &sc = chan(s.chan);
+        if (sc.msg != s.msg || sc.epoch != s.epoch) {
+            intact = false;
+            break;
+        }
+    }
+    ch.confirmed = false;
+    ch.verdictSamples.clear();
+    ch.retryAt = now + params_.retryDelay;
+    return intact;
+}
+
+void
+DwfgDetector::flushAllProbes()
+{
+    probesAborted_ += probes_.size();
+    for (const Probe &p : probes_)
+        chan(p.origin).probing = false;
+    probes_.clear();
+    for (Channel &ch : channels_) {
+        // Candidate sets may reference the changed resource, and an
+        // undelivered verdict was proved under the old graph: retract
+        // both. Occupancy and epochs stay — they are still true.
+        clearBlocked(ch);
+        ch.confirmed = false;
+        ch.verdictSamples.clear();
+    }
+}
+
+void
+DwfgDetector::onPortFaultChanged(NodeId, PortId, bool)
+{
+    flushAllProbes();
+}
+
+void
+DwfgDetector::onRoutingChanged()
+{
+    flushAllProbes();
+}
+
+bool
+DwfgDetector::recordSample(Probe &p, ChanId c)
+{
+    const Channel &ch = chan(c);
+    for (const Sample &s : p.samples) {
+        if (s.chan != c)
+            continue;
+        // Re-read of an already sampled channel: the probe's picture
+        // is only coherent if nothing moved in between.
+        return s.msg == ch.msg && s.epoch == ch.epoch;
+    }
+    p.samples.push_back(Sample{c, ch.msg, ch.epoch});
+    return true;
+}
+
+DwfgDetector::StepOutcome
+DwfgDetector::exploreChannel(Probe &p, ChanId c, Cycle now)
+{
+    if (!recordSample(p, c))
+        return StepOutcome::Mismatch;
+    const Channel &ch = chan(c);
+
+    if (ch.msg == kInvalidMsg)
+        return StepOutcome::Alive; // free channel: reusable now
+
+    if (ch.routed) {
+        // Part of a granted worm: follow it one hop toward its head.
+        // An ejection grant drains unconditionally; a free downstream
+        // channel means the grant window is open and flits can cross.
+        if (isEjection(ch.outPort))
+            return StepOutcome::Alive;
+        const ChanId d =
+            downstreamChan(chanRouter(c), ch.outPort, ch.outVc);
+        if (d == kInvalidChan)
+            return StepOutcome::Alive; // cannot happen for a granted
+                                       // route; stay conservative
+        p.stack.push_back(d);
+        return StepOutcome::Continue;
+    }
+
+    // Unrouted head. Only a head that failed routing this very cycle
+    // is blocked; anything else (in transit, arrived this cycle,
+    // under recovery) is advancing — and the matching oracle cases
+    // all resolve to "can advance" too.
+    if (ch.lastFail != now)
+        return StepOutcome::Alive;
+
+    if (std::find(p.visited.begin(), p.visited.end(), ch.msg) !=
+        p.visited.end())
+        return StepOutcome::Continue; // join/cycle: branch is dead
+
+    p.visited.push_back(ch.msg);
+    if (ch.cands.empty())
+        return StepOutcome::Alive; // nothing recorded: conservative
+
+    for (const BlockedCandidate &cand : ch.cands) {
+        // An ejection candidate can only be held by a message that is
+        // already routed (and thus draining): the wait resolves.
+        if (isEjection(cand.port))
+            return StepOutcome::Alive;
+        std::uint32_t mask = cand.vcMask;
+        while (mask) {
+            const VcId v2 =
+                static_cast<VcId>(__builtin_ctz(mask));
+            mask &= mask - 1;
+            const ChanId d =
+                downstreamChan(chanRouter(c), cand.port, v2);
+            if (d == kInvalidChan)
+                return StepOutcome::Alive; // conservative
+            p.stack.push_back(d);
+        }
+    }
+    return StepOutcome::Continue;
+}
+
+bool
+DwfgDetector::moveProbe(Probe &p, NodeId to, Cycle now)
+{
+    if (sendsCycle_ != now) {
+        std::fill(sends_.begin(), sends_.end(), 0);
+        sendsCycle_ = now;
+    }
+    if (sends_[p.at] >= params_.bandwidth) {
+        p.readyAt = now + 1; // bandwidth-stalled: retry next cycle
+        return false;
+    }
+    ++sends_[p.at];
+    const std::uint64_t dist =
+        std::max(1u, ctx_.topo->distance(p.at, to));
+    const std::uint64_t bytes =
+        kTokenHeaderBytes + kSampleBytes * p.samples.size();
+    const std::uint64_t flits =
+        (bytes + kFlitPayloadBytes - 1) / kFlitPayloadBytes;
+    ctrl_.flits += flits;
+    ctrl_.flitHops += flits * dist;
+    ctrl_.bytes += bytes;
+    p.at = to;
+    p.readyAt = now + params_.hopLatency * dist;
+    return true;
+}
+
+void
+DwfgDetector::startReport(Probe &p, bool verdict)
+{
+    p.phase = 3;
+    p.verdict = verdict;
+    p.stack.clear();
+    p.visited.clear();
+    if (!verdict)
+        p.samples.clear(); // an aborted probe carries no fragment
+}
+
+void
+DwfgDetector::deliverReport(Probe &p, Cycle now)
+{
+    Channel &origin = chan(p.origin);
+    if (p.verdict && origin.msg == p.originMsg && !origin.routed) {
+        origin.confirmed = true;
+        origin.verdictSamples = std::move(p.samples);
+        ++probesConfirmed_;
+    } else {
+        ++probesAborted_;
+    }
+    origin.probing = false;
+    origin.retryAt = now + params_.retryDelay;
+}
+
+bool
+DwfgDetector::stepProbe(Probe &p, Cycle now)
+{
+    while (true) {
+        if (p.phase == 1) {
+            if (p.stack.empty()) {
+                // Closure exhausted with no escape: verify pass.
+                p.phase = 2;
+                p.verifyIdx = 0;
+                continue;
+            }
+            const ChanId c = p.stack.back();
+            const NodeId owner = chanRouter(c);
+            if (owner != p.at) {
+                moveProbe(p, owner, now);
+                return false;
+            }
+            p.stack.pop_back();
+            const StepOutcome out = exploreChannel(p, c, now);
+            if (out != StepOutcome::Continue)
+                startReport(p, false);
+            continue;
+        }
+        if (p.phase == 2) {
+            if (p.verifyIdx >= p.samples.size()) {
+                startReport(p, true);
+                continue;
+            }
+            const Sample &s = p.samples[p.verifyIdx];
+            const NodeId owner = chanRouter(s.chan);
+            if (owner != p.at) {
+                moveProbe(p, owner, now);
+                return false;
+            }
+            const Channel &sc = chan(s.chan);
+            if (sc.msg != s.msg || sc.epoch != s.epoch) {
+                startReport(p, false);
+                continue;
+            }
+            ++p.verifyIdx;
+            continue;
+        }
+        // Phase 3: carry the verdict home.
+        const NodeId home = chanRouter(p.origin);
+        if (p.at != home) {
+            moveProbe(p, home, now);
+            return false;
+        }
+        deliverReport(p, now);
+        return true;
+    }
+}
+
+void
+DwfgDetector::launchProbe(ChanId c, Cycle now)
+{
+    Channel &ch = chan(c);
+    ch.probing = true;
+    Probe p;
+    p.id = nextProbeId_++;
+    p.origin = c;
+    p.originMsg = ch.msg;
+    p.phase = 1;
+    p.at = chanRouter(c);
+    p.readyAt = now;
+    p.stack.push_back(c);
+    ++probesLaunched_;
+    probes_.push_back(std::move(p));
+    if (stepProbe(probes_.back(), now))
+        probes_.pop_back(); // resolved locally (e.g. instant abort)
+}
+
+void
+DwfgDetector::onCycleEnd(NodeId router, PortMask, PortMask, Cycle now)
+{
+    // Tokens parked at this router, in launch order. The Network
+    // sweeps nodes in ascending order every cycle, so the whole
+    // schedule is deterministic; the mirror is frozen for the entire
+    // sweep (all hooks fired earlier in the cycle), so every read in
+    // this cycle sees one consistent snapshot.
+    doneScratch_.clear();
+    for (Probe &p : probes_) {
+        if (p.at != router || p.readyAt > now)
+            continue;
+        if (stepProbe(p, now))
+            doneScratch_.push_back(p.id);
+    }
+    if (!doneScratch_.empty()) {
+        probes_.erase(
+            std::remove_if(probes_.begin(), probes_.end(),
+                           [&](const Probe &p) {
+                               return std::binary_search(
+                                   doneScratch_.begin(),
+                                   doneScratch_.end(), p.id);
+                           }),
+            probes_.end());
+    }
+
+    // Launch probes for heads of this router that crossed the
+    // trigger threshold.
+    for (PortId port = 0; port < ctx_.numInPorts; ++port) {
+        for (VcId v = 0; v < ctx_.vcs; ++v) {
+            const ChanId c = chanId(router, port, v);
+            Channel &ch = chan(c);
+            if (ch.msg == kInvalidMsg || ch.routed || ch.probing ||
+                ch.confirmed)
+                continue;
+            if (ch.lastFail != now || ch.firstFail == kNever)
+                continue;
+            if (now - ch.firstFail < params_.trigger ||
+                ch.retryAt > now)
+                continue;
+            launchProbe(c, now);
+        }
+    }
+}
+
+std::uint64_t
+DwfgDetector::channelEpoch(NodeId router, PortId in_port,
+                           VcId in_vc) const
+{
+    return chan(chanId(router, in_port, in_vc)).epoch;
+}
+
+bool
+DwfgDetector::channelConfirmed(NodeId router, PortId in_port,
+                               VcId in_vc) const
+{
+    return chan(chanId(router, in_port, in_vc)).confirmed;
+}
+
+void
+DwfgDetector::saveState(Serializer &s) const
+{
+    for (const Channel &ch : channels_) {
+        s.u32(ch.msg);
+        s.boolean(ch.routed);
+        s.u16(ch.outPort);
+        s.u8(ch.outVc);
+        s.u64(ch.epoch);
+        s.u64(ch.firstFail);
+        s.u64(ch.lastFail);
+        s.u32(static_cast<std::uint32_t>(ch.cands.size()));
+        for (const BlockedCandidate &c : ch.cands) {
+            s.u16(c.port);
+            s.u32(c.vcMask);
+        }
+        s.boolean(ch.probing);
+        s.boolean(ch.confirmed);
+        s.u64(ch.retryAt);
+        s.u32(static_cast<std::uint32_t>(ch.verdictSamples.size()));
+        for (const Sample &sm : ch.verdictSamples) {
+            s.u32(sm.chan);
+            s.u32(sm.msg);
+            s.u64(sm.epoch);
+        }
+    }
+    s.u32(static_cast<std::uint32_t>(probes_.size()));
+    for (const Probe &p : probes_) {
+        s.u32(p.id);
+        s.u32(p.origin);
+        s.u32(p.originMsg);
+        s.u8(p.phase);
+        s.boolean(p.verdict);
+        s.u32(p.at);
+        s.u64(p.readyAt);
+        s.u32(static_cast<std::uint32_t>(p.samples.size()));
+        for (const Sample &sm : p.samples) {
+            s.u32(sm.chan);
+            s.u32(sm.msg);
+            s.u64(sm.epoch);
+        }
+        s.u32(static_cast<std::uint32_t>(p.visited.size()));
+        for (const MsgId m : p.visited)
+            s.u32(m);
+        s.u32(static_cast<std::uint32_t>(p.stack.size()));
+        for (const ChanId c : p.stack)
+            s.u32(c);
+        s.u64(p.verifyIdx);
+    }
+    s.u32(nextProbeId_);
+    s.u64(ctrl_.flits);
+    s.u64(ctrl_.flitHops);
+    s.u64(ctrl_.bytes);
+    s.u64(probesLaunched_);
+    s.u64(probesAborted_);
+    s.u64(probesConfirmed_);
+}
+
+void
+DwfgDetector::loadState(Deserializer &d)
+{
+    for (Channel &ch : channels_) {
+        ch.msg = d.u32();
+        ch.routed = d.boolean();
+        ch.outPort = d.u16();
+        ch.outVc = d.u8();
+        ch.epoch = d.u64();
+        ch.firstFail = d.u64();
+        ch.lastFail = d.u64();
+        ch.cands.resize(d.u32());
+        for (BlockedCandidate &c : ch.cands) {
+            c.port = d.u16();
+            c.vcMask = d.u32();
+        }
+        ch.probing = d.boolean();
+        ch.confirmed = d.boolean();
+        ch.retryAt = d.u64();
+        ch.verdictSamples.resize(d.u32());
+        for (Sample &sm : ch.verdictSamples) {
+            sm.chan = d.u32();
+            sm.msg = d.u32();
+            sm.epoch = d.u64();
+        }
+    }
+    probes_.resize(d.u32());
+    for (Probe &p : probes_) {
+        p.id = d.u32();
+        p.origin = d.u32();
+        p.originMsg = d.u32();
+        p.phase = d.u8();
+        p.verdict = d.boolean();
+        p.at = d.u32();
+        p.readyAt = d.u64();
+        p.samples.resize(d.u32());
+        for (Sample &sm : p.samples) {
+            sm.chan = d.u32();
+            sm.msg = d.u32();
+            sm.epoch = d.u64();
+        }
+        p.visited.resize(d.u32());
+        for (MsgId &m : p.visited)
+            m = d.u32();
+        p.stack.resize(d.u32());
+        for (ChanId &c : p.stack)
+            c = d.u32();
+        p.verifyIdx = d.u64();
+    }
+    nextProbeId_ = d.u32();
+    ctrl_.flits = d.u64();
+    ctrl_.flitHops = d.u64();
+    ctrl_.bytes = d.u64();
+    probesLaunched_ = d.u64();
+    probesAborted_ = d.u64();
+    probesConfirmed_ = d.u64();
+    // The per-cycle send budget is intra-cycle state: a checkpoint
+    // sits at a step boundary, so it resets lazily on first use.
+    std::fill(sends_.begin(), sends_.end(), 0);
+    sendsCycle_ = kNever;
+}
+
+std::string
+DwfgDetector::name() const
+{
+    std::ostringstream os;
+    os << "dwfg:t=" << params_.trigger << ":bw=" << params_.bandwidth
+       << ":hop=" << params_.hopLatency
+       << ":retry=" << params_.retryDelay;
+    return os.str();
+}
+
+} // namespace wormnet

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * DWFG — exact distributed wait-for-graph deadlock detection.
+ *
+ * The third mechanism next to NDM and PDM: instead of guessing
+ * deadlock from channel inactivity, each router maintains a local
+ * fragment of the blocked-channel dependency graph (the dynamic
+ * counterpart of the static CDG in src/analysis/cdg.*, and the
+ * in-network analogue of per-node lock-graph unions in distributed
+ * databases) and ships probe tokens between routers as modeled
+ * control flits. A deadlock verdict is raised only after a probe has
+ * discovered a dependency closure with no escape AND re-verified
+ * every sampled channel unchanged — zero false positives by
+ * construction, paid for in control bandwidth and detection latency.
+ *
+ * ## Local fragments
+ *
+ * Every input virtual channel (network and injection alike) has a
+ * mirror record maintained purely from the local detector hooks:
+ *   - occupant message and routed/(outPort,outVc) state
+ *     (onChannelOccupied / onMessageRouted / onRouteRetracted /
+ *     onInputVcFreed / onHeadRecovering);
+ *   - the feasible candidate set and first/last failure cycle of a
+ *     blocked head (onBlockedCandidates);
+ *   - a monotonic **epoch** counter bumped on every occupancy or
+ *     routing transition. Any advancement of a worm's head bumps the
+ *     epoch of the channel it occupies, so "epoch unchanged" proves
+ *     "this worm made no progress in the interval".
+ * Channels are addressed by the dense ChanId from analysis/cdg.hh;
+ * unlike the static CDG the dynamic mapping also covers injection
+ * ports, because injection-blocked heads take part in deadlocks.
+ *
+ * ## Probes
+ *
+ * A channel continuously blocked for `trigger` cycles launches a
+ * probe token that performs a depth-first walk of the wait-for
+ * closure: a blocked head depends on the downstream channel of each
+ * feasible candidate; an occupied routed channel is followed one hop
+ * along its worm; a free channel, an ejection candidate, or a head
+ * that advanced since its last failure proves the closure alive and
+ * aborts the probe. If the walk exhausts the closure without finding
+ * an escape, a second pass revisits every sampled channel and
+ * compares (occupant, epoch). Pass 1 entirely precedes pass 2, so
+ * when every sample is unchanged the per-channel constancy intervals
+ * all contain the instant between the passes: the samples form a
+ * consistent global snapshot in which the closure is deadlocked, and
+ * wormhole deadlocks are permanent until recovery intervenes. The
+ * token then returns to the initiator, which reports the verdict at
+ * its next routing failure (guarded once more against concurrent
+ * recovery; the zero-cost guard stands in for the hardware
+ * invalidation messages a real implementation would ship).
+ *
+ * ## Cost model
+ *
+ * Every token move between routers A and B is charged as a control
+ * message of (16 + 8 * samples) bytes, split into 16-byte-payload
+ * control flits, traversing Topology::distance(A, B) hops on a
+ * dedicated control VC: flits, flit-hops and bytes accumulate into
+ * ControlTraffic (polled into SimStats each cycle). Each router may
+ * launch at most `bandwidth` token sends per cycle; excess tokens
+ * stall in place and retry next cycle. Token arrival takes
+ * hopLatency cycles per hop (always >= 1 cycle per move).
+ *
+ * Fault or reconfiguration events flush all fragments and in-flight
+ * probes (fragments referencing dead links are retracted
+ * wholesale); detection restarts from fresh observations.
+ */
+
+#ifndef WORMNET_DETECTION_DWFG_HH
+#define WORMNET_DETECTION_DWFG_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/cdg.hh"
+#include "detection/detector.hh"
+#include "topology/topology.hh"
+
+namespace wormnet
+{
+
+/** Configuration for DwfgDetector. */
+struct DwfgParams
+{
+    /** Cycles a head must be continuously blocked before its channel
+     *  launches a probe. */
+    Cycle trigger = 32;
+    /** Token sends each router may start per cycle. */
+    unsigned bandwidth = 1;
+    /** Control-flit latency per hop, cycles. */
+    Cycle hopLatency = 1;
+    /** Backoff before a channel re-probes after an aborted probe or
+     *  a delivered verdict. */
+    Cycle retryDelay = 8;
+};
+
+/** Exact distributed wait-for-graph detector. */
+class DwfgDetector : public DeadlockDetector
+{
+  public:
+    /** One (channel, occupant, epoch) observation inside a probe. */
+    struct Sample
+    {
+        ChanId chan = kInvalidChan;
+        MsgId msg = kInvalidMsg;
+        std::uint64_t epoch = 0;
+    };
+
+    explicit DwfgDetector(const DwfgParams &params);
+
+    void init(const DetectorContext &ctx) override;
+    bool onRoutingFailed(NodeId router, PortId in_port, VcId in_vc,
+                         MsgId msg, PortMask feasible_ports,
+                         bool input_pc_fully_busy, bool first_attempt,
+                         Cycle now) override;
+    void onMessageRouted(NodeId router, PortId in_port, VcId in_vc,
+                         MsgId msg, PortId out_port,
+                         VcId out_vc) override;
+    void onChannelOccupied(NodeId router, PortId in_port, VcId in_vc,
+                           MsgId msg) override;
+    void onRouteRetracted(NodeId router, PortId in_port,
+                          VcId in_vc) override;
+    void onHeadRecovering(NodeId router, PortId in_port,
+                          VcId in_vc) override;
+    void onInputVcFreed(NodeId router, PortId in_port,
+                        VcId in_vc) override;
+    bool wantsBlockedCandidates() const override { return true; }
+    void onBlockedCandidates(NodeId router, PortId in_port,
+                             VcId in_vc, MsgId msg,
+                             const BlockedCandidate *cands,
+                             std::size_t count, Cycle now) override;
+    void onCycleEnd(NodeId router, PortMask tx_mask,
+                    PortMask occupied_mask, Cycle now) override;
+    /** Probes are processed in the per-node cycle-end sweep, so every
+     *  router must be visited every cycle. */
+    bool idleCycleEndStable() const override { return false; }
+    void onPortFaultChanged(NodeId router, PortId out_port,
+                            bool faulty) override;
+    void onRoutingChanged() override;
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
+    ControlTraffic controlTraffic() const override { return ctrl_; }
+    std::string name() const override;
+
+    const DwfgParams &params() const { return params_; }
+
+    /** @name White-box accessors for unit tests. */
+    /// @{
+    std::size_t activeProbes() const { return probes_.size(); }
+    std::uint64_t probesLaunched() const { return probesLaunched_; }
+    std::uint64_t probesAborted() const { return probesAborted_; }
+    std::uint64_t probesConfirmed() const { return probesConfirmed_; }
+    std::uint64_t channelEpoch(NodeId router, PortId in_port,
+                               VcId in_vc) const;
+    bool channelConfirmed(NodeId router, PortId in_port,
+                          VcId in_vc) const;
+    /// @}
+
+  private:
+    /** Mirror of one input VC, maintained from the local hooks. */
+    struct Channel
+    {
+        MsgId msg = kInvalidMsg;
+        bool routed = false;
+        PortId outPort = kInvalidPort;
+        VcId outVc = kInvalidVc;
+        /** Bumped on every occupy/free/grant/retract/recover. */
+        std::uint64_t epoch = 0;
+        /** Continuous-blocking window of the current head. */
+        Cycle firstFail = kNever;
+        Cycle lastFail = kNever;
+        /** Feasible candidates at the last failure. */
+        std::vector<BlockedCandidate> cands;
+        /** A probe from this channel is outstanding. */
+        bool probing = false;
+        /** A verified verdict awaits delivery via onRoutingFailed. */
+        bool confirmed = false;
+        /** Earliest cycle this channel may launch its next probe. */
+        Cycle retryAt = 0;
+        /** The verified snapshot backing `confirmed`, re-checked at
+         *  delivery time. */
+        std::vector<Sample> verdictSamples;
+    };
+
+    /** One in-flight probe token. */
+    struct Probe
+    {
+        std::uint32_t id = 0;    ///< launch order; processing order
+        ChanId origin = kInvalidChan;
+        MsgId originMsg = kInvalidMsg;
+        /** 1 = explore (DFS), 2 = verify (replay samples),
+         *  3 = report (return to origin). */
+        std::uint8_t phase = 1;
+        /** Verdict carried home in phase 3. */
+        bool verdict = false;
+        NodeId at = kInvalidNode;  ///< router holding the token
+        Cycle readyAt = 0;         ///< processable from this cycle
+        std::vector<Sample> samples;   ///< fragment union, read order
+        std::vector<MsgId> visited;    ///< expanded blocked heads
+        std::vector<ChanId> stack;     ///< DFS worklist
+        std::size_t verifyIdx = 0;
+    };
+
+    ChanId
+    chanId(NodeId router, PortId in_port, VcId in_vc) const
+    {
+        return static_cast<ChanId>(
+            (std::size_t(router) * ctx_.numInPorts + in_port) *
+                ctx_.vcs +
+            in_vc);
+    }
+    NodeId
+    chanRouter(ChanId c) const
+    {
+        return static_cast<NodeId>(c /
+                                   (ctx_.numInPorts * ctx_.vcs));
+    }
+    bool
+    isEjection(PortId out_port) const
+    {
+        return out_port >= netPorts_;
+    }
+    /** Dense id of the channel fed by (@p router, @p out_port,
+     *  @p out_vc); kInvalidChan off the edge of a mesh. */
+    ChanId downstreamChan(NodeId router, PortId out_port,
+                          VcId out_vc) const;
+
+    Channel &chan(ChanId c) { return channels_[c]; }
+    const Channel &chan(ChanId c) const { return channels_[c]; }
+
+    void bumpEpoch(Channel &ch);
+    void clearBlocked(Channel &ch);
+    /** Drop every in-flight probe and undelivered verdict (fault or
+     *  reconfiguration flush). */
+    void flushAllProbes();
+
+    /** Try to launch a probe for @p c; true if launched. */
+    void launchProbe(ChanId c, Cycle now);
+    /** Run local steps of @p p at router p.at until it moves away,
+     *  stalls on bandwidth, or finishes. True when the probe is done
+     *  and must be erased. */
+    bool stepProbe(Probe &p, Cycle now);
+    /** Inspect @p c for phase-1 exploration. */
+    enum class StepOutcome : std::uint8_t
+    {
+        Continue, ///< pushed follow-up channels (or dead end)
+        Alive,    ///< escape found: abort
+        Mismatch, ///< channel changed under the probe: abort
+    };
+    StepOutcome exploreChannel(Probe &p, ChanId c, Cycle now);
+    /** Record (or re-check) a sample of @p c; false on mismatch. */
+    bool recordSample(Probe &p, ChanId c);
+    /** Charge one token move to @p to and park the probe there.
+     *  False when the per-router send budget is exhausted. */
+    bool moveProbe(Probe &p, NodeId to, Cycle now);
+    /** Route the probe into phase 3 with @p verdict. */
+    void startReport(Probe &p, bool verdict);
+    /** Token arrived home: hand the verdict to the origin channel. */
+    void deliverReport(Probe &p, Cycle now);
+
+    DwfgParams params_;
+    DetectorContext ctx_;
+    unsigned netPorts_ = 0;
+    std::vector<Channel> channels_;
+    std::vector<Probe> probes_; ///< ascending id
+    std::uint32_t nextProbeId_ = 0;
+    ControlTraffic ctrl_;
+    std::uint64_t probesLaunched_ = 0;
+    std::uint64_t probesAborted_ = 0;
+    std::uint64_t probesConfirmed_ = 0;
+
+    /** Per-router token sends already started this cycle (budget
+     *  enforcement; purely intra-cycle, reset lazily). */
+    std::vector<std::uint32_t> sends_;
+    Cycle sendsCycle_ = kNever;
+
+    /** Scratch for erasing finished probes during the sweep. */
+    std::vector<std::uint32_t> doneScratch_;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_DETECTION_DWFG_HH

@@ -89,7 +89,8 @@ NdmDetector::onRoutingFailed(NodeId router, PortId in_port, VcId in_vc,
 }
 
 void
-NdmDetector::onMessageRouted(NodeId router, PortId in_port, VcId in_vc)
+NdmDetector::onMessageRouted(NodeId router, PortId in_port,
+                             VcId in_vc, MsgId, PortId, VcId)
 {
     // A worm on this input channel is advancing again: the last
     // arrival is no longer waiting on the root of a blocked tree.

@@ -40,7 +40,7 @@ TimeoutDetector::onRoutingFailed(NodeId router, PortId in_port,
 
 void
 TimeoutDetector::onMessageRouted(NodeId router, PortId in_port,
-                                 VcId in_vc)
+                                 VcId in_vc, MsgId, PortId, VcId)
 {
     blockedSince_[vcIdx(router, in_port, in_vc)] = kNever;
 }

@@ -35,8 +35,9 @@ class TimeoutDetector : public DeadlockDetector
                          MsgId msg, PortMask feasible_ports,
                          bool input_pc_fully_busy, bool first_attempt,
                          Cycle now) override;
-    void onMessageRouted(NodeId router, PortId in_port,
-                         VcId in_vc) override;
+    void onMessageRouted(NodeId router, PortId in_port, VcId in_vc,
+                         MsgId msg, PortId out_port,
+                         VcId out_vc) override;
     void onInputVcFreed(NodeId router, PortId in_port,
                         VcId in_vc) override;
     void

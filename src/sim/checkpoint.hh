@@ -40,8 +40,10 @@
 namespace wormnet
 {
 
-/** Bumped on any change to a serialized payload layout. */
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/** Bumped on any change to a serialized payload layout.
+ *  v2: control-traffic counters appended to SimStats; DWFG detector
+ *  payload (channel mirror + in-flight probe tokens). */
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /**
  * Atomically write @p payload to @p path under the container

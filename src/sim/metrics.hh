@@ -73,6 +73,23 @@ struct SimStats
     Histogram latencyHist{32, 128};
     /// @}
 
+    /** @name Detector control-plane traffic.
+     *
+     * Lifetime totals mirrored from DeadlockDetector::controlTraffic()
+     * once per cycle; zero for purely local mechanisms (NDM, PDM,
+     * timeouts). The wCtrl*0 snapshots are the totals at the start of
+     * the measurement window, so windowed overhead is total minus
+     * snapshot (see windowCtrlFlits() etc.).
+     */
+    /// @{
+    std::uint64_t ctrlFlits = 0;    ///< control flits sent
+    std::uint64_t ctrlFlitHops = 0; ///< control flit-hops traversed
+    std::uint64_t ctrlBytes = 0;    ///< control payload bytes sent
+    std::uint64_t wCtrlFlits0 = 0;
+    std::uint64_t wCtrlFlitHops0 = 0;
+    std::uint64_t wCtrlBytes0 = 0;
+    /// @}
+
     /** @name Ground-truth oracle observations (lifetime). */
     /// @{
     /** Distinct messages the oracle ever saw truly deadlocked. */
@@ -129,6 +146,12 @@ struct SimStats
         s.u64(maxDeadlockPersistence);
         s.u64(currentlyDeadlocked);
         detectionLatency.saveState(s);
+        s.u64(ctrlFlits);
+        s.u64(ctrlFlitHops);
+        s.u64(ctrlBytes);
+        s.u64(wCtrlFlits0);
+        s.u64(wCtrlFlitHops0);
+        s.u64(wCtrlBytes0);
     }
 
     template <typename D>
@@ -167,6 +190,12 @@ struct SimStats
         maxDeadlockPersistence = d.u64();
         currentlyDeadlocked = d.u64();
         detectionLatency.loadState(d);
+        ctrlFlits = d.u64();
+        ctrlFlitHops = d.u64();
+        ctrlBytes = d.u64();
+        wCtrlFlits0 = d.u64();
+        wCtrlFlitHops0 = d.u64();
+        wCtrlBytes0 = d.u64();
     }
 
     /** Reset the measurement window at cycle @p now. */
@@ -179,10 +208,32 @@ struct SimStats
         wDetectionEvents = wDetectedMessages = 0;
         wTrueDetections = wFalseDetections = 0;
         wKills = wRecoveredDeliveries = 0;
+        wCtrlFlits0 = ctrlFlits;
+        wCtrlFlitHops0 = ctrlFlitHops;
+        wCtrlBytes0 = ctrlBytes;
         latency.reset();
         netLatency.reset();
         latencyHist.reset();
     }
+
+    /** @name Control traffic inside the measurement window. */
+    /// @{
+    std::uint64_t
+    windowCtrlFlits() const
+    {
+        return ctrlFlits - wCtrlFlits0;
+    }
+    std::uint64_t
+    windowCtrlFlitHops() const
+    {
+        return ctrlFlitHops - wCtrlFlitHops0;
+    }
+    std::uint64_t
+    windowCtrlBytes() const
+    {
+        return ctrlBytes - wCtrlBytes0;
+    }
+    /// @}
 
     /**
      * The paper's headline metric: fraction of messages detected as

@@ -85,6 +85,7 @@ Network::Network(const Topology &topo, const NetworkParams &params,
     injVcBusy_.assign(n, 0);
     detActive_.init(n);
     detectorIdleStable_ = detector_.idleCycleEndStable();
+    detectorWantsCandidates_ = detector_.wantsBlockedCandidates();
     detectorDeadMask_.assign(n, 0);
 
     // Steady-state churn should never reallocate the per-cycle
@@ -95,6 +96,7 @@ Network::Network(const Topology &topo, const NetworkParams &params,
     faultKillQueue_.reserve(64);
     candScratch_.reserve(outPorts_);
     freeScratch_.reserve(std::size_t(outPorts_) * vcs_);
+    blockedCandScratch_.reserve(outPorts_);
 
     // Full-level contract builds (WORMNET_CONTRACTS=full) run the
     // brute-force active-set cross-check every cycle by default; the
@@ -109,6 +111,7 @@ Network::Network(const Topology &topo, const NetworkParams &params,
     ctx.numInPorts = routerParams_.numInPorts();
     ctx.numOutPorts = routerParams_.numOutPorts();
     ctx.vcs = routerParams_.vcs;
+    ctx.topo = &topo_;
     detector_.init(ctx);
 
     if (recovery_)
@@ -469,6 +472,7 @@ Network::scanForStrandedWorms()
                     vc.attempted = false;
                     vc.headBlockedSince = kNever;
                     syncRoutable(node, p, v);
+                    detector_.onRouteRetracted(node, p, v);
                     ++stats_.faultReroutes;
                     trace(TraceEvent::Rerouted, vc.msg, node, p, v);
                 } else {
@@ -735,7 +739,8 @@ Network::routeOne(Router &rt, PortId port, VcId v,
         vc.lastFeasible = 0;
         vc.headBlockedSince = kNever;
         syncRoutable(rt.nodeId(), port, v);
-        detector_.onMessageRouted(rt.nodeId(), port, v);
+        detector_.onMessageRouted(rt.nodeId(), port, v, vc.msg,
+                                  pick.port, pick.vc);
         trace(TraceEvent::Routed, vc.msg, rt.nodeId(), pick.port,
               pick.vc);
         return;
@@ -748,6 +753,18 @@ Network::routeOne(Router &rt, PortId port, VcId v,
         trace(TraceEvent::Blocked, vc.msg, rt.nodeId(), port, v);
     }
     vc.lastFeasible = feasible;
+    if (detectorWantsCandidates_) {
+        blockedCandScratch_.clear();
+        for (const auto &cand : candScratch_) {
+            if ((fault_mask >> cand.port) & 1u)
+                continue;
+            blockedCandScratch_.push_back(
+                BlockedCandidate{cand.port, cand.vcMask});
+        }
+        detector_.onBlockedCandidates(
+            rt.nodeId(), port, v, vc.msg, blockedCandScratch_.data(),
+            blockedCandScratch_.size(), now_);
+    }
     const bool verdict = detector_.onRoutingFailed(
         rt.nodeId(), port, v, vc.msg, feasible,
         rt.inputPcFullyBusy(port), first, now_);
@@ -913,6 +930,7 @@ Network::enqueueFlit(Router &rt, PortId port, VcId v,
         vc.msg = flit.msg;
         messages_.get(flit.msg).pushLink(rt.nodeId(), port, v);
         syncRoutable(rt.nodeId(), port, v);
+        detector_.onChannelOccupied(rt.nodeId(), port, v, flit.msg);
         if (port >= netPorts_) {
             ++injVcBusy_[rt.nodeId()];
             injActive_.insert(rt.nodeId());
@@ -1017,6 +1035,7 @@ Network::setHeadRecovering(MsgId msg)
     WORMNET_ASSERT(vc.msg == msg);
     vc.recovering = true;
     syncRoutable(head.node, head.port, head.vc);
+    detector_.onHeadRecovering(head.node, head.port, head.vc);
 }
 
 void
@@ -1063,6 +1082,20 @@ Network::drainHeaderFlit(MsgId msg, FlitType &type)
 
 void
 Network::detectorCycleEnd()
+{
+    runDetectorCycleEnd();
+    // Mirror the detector's cumulative control-plane traffic into the
+    // stats block. Assignment (not accumulation): the detector owns
+    // the lifetime counters, SimStats just exposes them; window
+    // deltas come from the snapshots taken in startWindow().
+    const ControlTraffic ct = detector_.controlTraffic();
+    stats_.ctrlFlits = ct.flits;
+    stats_.ctrlFlitHops = ct.flitHops;
+    stats_.ctrlBytes = ct.bytes;
+}
+
+void
+Network::runDetectorCycleEnd()
 {
     if (!detectorIdleStable_) {
         // The detector times even unoccupied channels (ungated PDM),

@@ -329,6 +329,9 @@ class Network
     void transferFlit(Router &rt, PortId out_port, PortId in_port,
                       VcId in_vc);
     void detectorCycleEnd();
+    /** The per-node cycle-end sweep itself (exhaustive or
+     *  active-set), without the control-traffic poll. */
+    void runDetectorCycleEnd();
     void oracleTick();
 
     /** @name Fault handling. */
@@ -492,6 +495,8 @@ class Network
     /** Scratch candidate buffer for the routing phase. */
     std::vector<RouteCandidate> candScratch_;
     std::vector<PortVc> freeScratch_;
+    /** Fault-filtered candidates handed to onBlockedCandidates(). */
+    std::vector<BlockedCandidate> blockedCandScratch_;
 
     /** @name Activity-driven core state.
      *
@@ -534,6 +539,8 @@ class Network
     NodeBitset detActive_;
     /** The attached detector tolerates skipping idle routers. */
     bool detectorIdleStable_ = false;
+    /** The attached detector wants the candidate list on failures. */
+    bool detectorWantsCandidates_ = false;
 
     /** Nodes whose txMask_ entry is nonzero this cycle (cleared at
      *  the next step() instead of re-filling the whole vector). */

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Shared setup for the detector-centric test suites
+ * (test_detection.cpp, test_fault.cpp, test_reconfig.cpp,
+ * test_dwfg.cpp): a white-box DetectorContext plus hook-driving
+ * helpers for unit tests, and the standard torus/ring simulation
+ * configurations the integration tests build scenarios from.
+ */
+
+#ifndef WORMNET_TESTS_DETECTOR_FIXTURE_HH
+#define WORMNET_TESTS_DETECTOR_FIXTURE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/simulation.hh"
+#include "detection/detector.hh"
+#include "detection/dwfg.hh"
+#include "topology/topology.hh"
+
+namespace wormnet
+{
+
+/** Tiny two-router context for driving detector hooks directly
+ *  (no network behind it). */
+inline DetectorContext
+smallCtx()
+{
+    DetectorContext ctx;
+    ctx.numRouters = 2;
+    ctx.numInPorts = 4;
+    ctx.numOutPorts = 4;
+    ctx.vcs = 3;
+    return ctx;
+}
+
+/** Run @p n idle occupied cycles on router 0 with ports in
+ *  @p occupied. */
+inline void
+idleCycles(DeadlockDetector &det, unsigned n, PortMask occupied,
+           Cycle &now)
+{
+    for (unsigned i = 0; i < n; ++i)
+        det.onCycleEnd(0, /*tx=*/0, occupied, now++);
+}
+
+/** 4x4 torus under random load: the workhorse configuration of the
+ *  reconfiguration, fault and differential-detection tests. */
+inline SimulationConfig
+torusConfig(double rate = 0.4)
+{
+    SimulationConfig cfg;
+    cfg.radix = 4;
+    cfg.dims = 2;
+    cfg.flitRate = rate;
+    cfg.oraclePeriod = 64;
+    cfg.seed = 11;
+    return cfg;
+}
+
+/** 1-D ring with manual injection only, where message paths are easy
+ *  to reason about. */
+inline SimulationConfig
+ringFaultConfig()
+{
+    SimulationConfig cfg;
+    cfg.topology = "torus";
+    cfg.radix = 8;
+    cfg.dims = 1;
+    cfg.injPorts = 1;
+    cfg.ejePorts = 1;
+    cfg.flitRate = 0.0;
+    cfg.detector = "ndm:16";
+    cfg.recovery = "regressive:16";
+    cfg.injectionLimit = false;
+    cfg.oraclePeriod = 16;
+    cfg.selection = "firstfit";
+    return cfg;
+}
+
+/**
+ * Hand-driven DWFG rig: a 4-node ring where every router's network
+ * input channel (in_port 1, the "+"-direction link's receiving side)
+ * can be occupied by a head whose only candidate is the "+" output
+ * (port 0) — a textbook cyclic wait that closes after four hops.
+ * Used by the DWFG unit tests and the detector-state checkpoint
+ * round-trip (which needs probes guaranteed in flight).
+ */
+class DwfgRing
+{
+  public:
+    explicit DwfgRing(const DwfgParams &params)
+        : topo_(makeTopology("torus", 4, 1)), det_(params)
+    {
+        ctx_.numRouters = 4;
+        ctx_.numInPorts = 3;  // 2 network + 1 injection
+        ctx_.numOutPorts = 3; // 2 network + 1 ejection
+        ctx_.vcs = 1;
+        ctx_.topo = topo_.get();
+        det_.init(ctx_);
+    }
+
+    /** Occupy router @p r's in-port-1 channel with message 100+r. */
+    void occupy(NodeId r) { det_.onChannelOccupied(r, 1, 0, 100 + r); }
+
+    /**
+     * One simulated cycle: every router in @p blocked reports a
+     * routing failure with the "+" port as sole busy candidate (as
+     * the network's routeAll pass would), then every router runs its
+     * cycle-end sweep. Returns true if any blocked head received a
+     * confirmed deadlock verdict this cycle.
+     */
+    bool cycle(const std::vector<NodeId> &blocked)
+    {
+        bool verdict = false;
+        const BlockedCandidate cand{/*port=*/0, /*vcMask=*/1};
+        for (NodeId r : blocked) {
+            verdict |= det_.onRoutingFailed(r, 1, 0, 100 + r,
+                                            /*feasible_ports=*/1,
+                                            false, false, now_);
+            det_.onBlockedCandidates(r, 1, 0, 100 + r, &cand, 1, now_);
+        }
+        for (NodeId r = 0; r < 4; ++r)
+            det_.onCycleEnd(r, 0, /*occupied=*/1u << 1, now_);
+        ++now_;
+        return verdict;
+    }
+
+    DwfgDetector &det() { return det_; }
+    const DwfgDetector &det() const { return det_; }
+    Cycle now() const { return now_; }
+    /** Advance the clock without driving hooks (manual sequences). */
+    void cycleAdvance() { ++now_; }
+
+  private:
+    std::unique_ptr<Topology> topo_;
+    DwfgDetector det_;
+    DetectorContext ctx_;
+    Cycle now_ = 0;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_TESTS_DETECTOR_FIXTURE_HH

@@ -14,32 +14,12 @@
 #include "detection/pdm.hh"
 #include "detection/source_timeout.hh"
 #include "detection/timeout.hh"
+#include "detector_fixture.hh"
 
 namespace wormnet
 {
 namespace
 {
-
-DetectorContext
-smallCtx()
-{
-    DetectorContext ctx;
-    ctx.numRouters = 2;
-    ctx.numInPorts = 4;
-    ctx.numOutPorts = 4;
-    ctx.vcs = 3;
-    return ctx;
-}
-
-/** Helper: run n idle occupied cycles on router 0 with ports in
- *  @p occupied. */
-void
-idleCycles(DeadlockDetector &det, unsigned n, PortMask occupied,
-           Cycle &now)
-{
-    for (unsigned i = 0; i < n; ++i)
-        det.onCycleEnd(0, /*tx=*/0, occupied, now++);
-}
 
 TEST(Ndm, CounterAndFlagsFollowThresholds)
 {
@@ -175,7 +155,7 @@ TEST(Ndm, RoutedAndFreedResetToPropagate)
     det.onCycleEnd(0, 0x2, 0x3, now++);
     det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now);
     EXPECT_TRUE(det.gpFlag(0, 2));
-    det.onMessageRouted(0, 2, 1);
+    det.onMessageRouted(0, 2, 1, 7, 0, 0);
     EXPECT_FALSE(det.gpFlag(0, 2));
 
     det.onCycleEnd(0, 0x2, 0x3, now++);
@@ -210,7 +190,7 @@ TEST(Ndm, ResetOnOtherVcOfInputChannelSuppressesDetection)
     det.onCycleEnd(0, /*tx=*/0x2, 0x3, now++);
     det.onRoutingFailed(0, 2, 0, 7, 0x3, true, true, now);
     EXPECT_TRUE(det.gpFlag(0, 2));
-    det.onMessageRouted(0, 2, /*in_vc=*/2);
+    det.onMessageRouted(0, 2, /*in_vc=*/2, 7, 0, 0);
     EXPECT_FALSE(det.gpFlag(0, 2));
     EXPECT_FALSE(
         det.onRoutingFailed(0, 2, 0, 7, 0x3, true, false, now));
@@ -230,7 +210,7 @@ TEST(Ndm, ResetClearsWaitStateForSelectiveRearm)
     det.onRoutingFailed(0, 2, 0, 8, /*feasible=*/0x1, true, true,
                         now);
     // Input 1's head advances; input 2 keeps waiting on output 0.
-    det.onMessageRouted(0, 1, 0);
+    det.onMessageRouted(0, 1, 0, 7, 0, 0);
     det.onCycleEnd(0, /*tx=*/0x1, 0x3, now++); // I reset on output 0
     EXPECT_FALSE(det.gpFlag(0, 1)) << "stale wait record re-armed";
     EXPECT_TRUE(det.gpFlag(0, 2));
@@ -386,7 +366,7 @@ TEST(Timeout, RoutedResetsClock)
     TimeoutDetector det(TimeoutParams{5});
     det.init(smallCtx());
     det.onRoutingFailed(0, 1, 0, 7, 0x1, true, true, 10);
-    det.onMessageRouted(0, 1, 0);
+    det.onMessageRouted(0, 1, 0, 7, 0, 0);
     // New head, new first attempt.
     EXPECT_FALSE(
         det.onRoutingFailed(0, 1, 0, 8, 0x1, true, true, 100));
@@ -463,6 +443,13 @@ TEST(DetectorFactory, ParsesSpecs)
     const auto to = makeDetector("timeout:256");
     EXPECT_NE(to->name().find("256"), std::string::npos);
 
+    const auto dwfg = makeDetector("dwfg:64:bw=2:hop=3:retry=16");
+    EXPECT_EQ(dwfg->name(), "dwfg:t=64:bw=2:hop=3:retry=16");
+    EXPECT_TRUE(dwfg->wantsBlockedCandidates());
+    EXPECT_FALSE(dwfg->idleCycleEndStable());
+    EXPECT_EQ(makeDetector("dwfg")->name(),
+              "dwfg:t=32:bw=1:hop=1:retry=8");
+
     const auto src = makeDetector("src-age-timeout:128");
     EXPECT_NE(src->name().find("src-age"), std::string::npos);
     const auto inj = makeDetector("inj-stall-timeout:64");
@@ -474,6 +461,8 @@ TEST(DetectorFactory, RejectsBadSpecs)
     EXPECT_THROW(makeDetector("bogus"), FatalError);
     EXPECT_THROW(makeDetector("ndm:abc"), FatalError);
     EXPECT_THROW(makeDetector("pdm:8:what"), FatalError);
+    EXPECT_THROW(makeDetector("dwfg:32:huh"), FatalError);
+    EXPECT_THROW(makeDetector("dwfg:bw=0"), FatalError);
     EXPECT_THROW(makeDetector(""), FatalError);
 }
 

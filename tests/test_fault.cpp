@@ -12,6 +12,7 @@
 
 #include "common/log.hh"
 #include "core/simulation.hh"
+#include "detector_fixture.hh"
 #include "fault/fault.hh"
 #include "sim/validate.hh"
 #include "topology/torus.hh"
@@ -114,25 +115,6 @@ TEST(FaultModel, RejectsLinkAbsentFromTopology)
     rp.netPorts = topo.numNetPorts();
     FaultModel fm(FaultModel::parseSpec("link:0>5@1")); // not adjacent
     EXPECT_THROW(fm.init(topo, rp, 7), FatalError);
-}
-
-/** 1-D ring where message paths are easy to reason about. */
-SimulationConfig
-ringFaultConfig()
-{
-    SimulationConfig cfg;
-    cfg.topology = "torus";
-    cfg.radix = 8;
-    cfg.dims = 1;
-    cfg.injPorts = 1;
-    cfg.ejePorts = 1;
-    cfg.flitRate = 0.0;
-    cfg.detector = "ndm:16";
-    cfg.recovery = "regressive:16";
-    cfg.injectionLimit = false;
-    cfg.oraclePeriod = 16;
-    cfg.selection = "firstfit";
-    return cfg;
 }
 
 TEST(Fault, StrandedWormKilledAndRedeliveredAfterRepair)
@@ -244,13 +226,9 @@ TEST(Fault, FaultedPortsNeverInFeasibleSetsUnderLoad)
     // Random traffic over a torus with a permanent link fault: at
     // every probe point no routed input VC may point at a faulted
     // port and the full structural invariant set must hold.
-    SimulationConfig cfg;
-    cfg.radix = 4;
-    cfg.dims = 2;
-    cfg.flitRate = 0.15;
+    SimulationConfig cfg = torusConfig(0.15);
     cfg.detector = "ndm:32";
     cfg.recovery = "regressive:16";
-    cfg.oraclePeriod = 64;
     cfg.faults = "link:5>6@100";
     cfg.seed = 21;
     Simulation sim(cfg);
@@ -280,13 +258,9 @@ TEST(Fault, DeadRouterKillsOccupantsAndTrafficDrains)
     // injecting, and messages addressed to it burn their retries and
     // are abandoned. Everything else keeps flowing and the books
     // balance exactly after the drain.
-    SimulationConfig cfg;
-    cfg.radix = 4;
-    cfg.dims = 2;
-    cfg.flitRate = 0.05;
+    SimulationConfig cfg = torusConfig(0.05);
     cfg.detector = "ndm:32";
     cfg.recovery = "regressive:16";
-    cfg.oraclePeriod = 64;
     cfg.faults = "router:5@500";
     cfg.maxRetries = 2;
     cfg.seed = 33;
@@ -316,13 +290,9 @@ TEST(Fault, StochasticFaultsWithRepairKeepBooksBalanced)
     // conservation law injected == delivered + kills + abandoned +
     // in-flight holds at every probe point, and faults both occur
     // and heal.
-    SimulationConfig cfg;
-    cfg.radix = 4;
-    cfg.dims = 2;
-    cfg.flitRate = 0.1;
+    SimulationConfig cfg = torusConfig(0.1);
     cfg.detector = "ndm:32";
     cfg.recovery = "regressive:16";
-    cfg.oraclePeriod = 64;
     cfg.faults = "rate:5e-4";
     cfg.faultRepair = 50;
     cfg.seed = 9;

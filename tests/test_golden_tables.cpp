@@ -56,8 +56,14 @@ capture(const std::string &command, int &exit_code)
     return out;
 }
 
+/**
+ * Replay @p binary with the golden file's recorded args (plus
+ * @p extra_args, e.g. an explicit --jobs override — the output must
+ * be identical for every job count) and byte-compare stdout.
+ */
 void
-checkGoldenTable(const std::string &binary, const std::string &golden)
+checkGoldenTable(const std::string &binary, const std::string &golden,
+                 const std::string &extra_args = "")
 {
     const std::string path =
         std::string(WORMNET_GOLDEN_DIR) + "/" + golden;
@@ -76,7 +82,10 @@ checkGoldenTable(const std::string &binary, const std::string &golden)
     const std::string expected = content.substr(eol + 1);
 
     const std::string command = std::string(WORMNET_BENCH_DIR) + "/" +
-                                binary + args + " 2>/dev/null";
+                                binary + args +
+                                (extra_args.empty() ? ""
+                                                    : " " + extra_args) +
+                                " 2>/dev/null";
     int exit_code = -1;
     const std::string actual = capture(command, exit_code);
     ASSERT_EQ(exit_code, 0) << "command failed: " << command;
@@ -100,6 +109,27 @@ TEST(GoldenTables, Table2NdmUniform)
 TEST(GoldenTables, Table7NdmHotspot)
 {
     checkGoldenTable("table7_ndm_hotspot", "table7_quick.txt");
+}
+
+// The detector-ablation JSON must be byte-identical at every job
+// count: results land in pre-sized slots and are emitted in sweep
+// order regardless of scheduling.
+TEST(GoldenTables, AblationDetectorsJobs1)
+{
+    checkGoldenTable("ablation_detectors",
+                     "ablation_detectors_quick.json", "--jobs 1");
+}
+
+TEST(GoldenTables, AblationDetectorsJobs2)
+{
+    checkGoldenTable("ablation_detectors",
+                     "ablation_detectors_quick.json", "--jobs 2");
+}
+
+TEST(GoldenTables, AblationDetectorsJobs8)
+{
+    checkGoldenTable("ablation_detectors",
+                     "ablation_detectors_quick.json", "--jobs 8");
 }
 
 } // namespace

@@ -13,24 +13,13 @@
 
 #include "common/log.hh"
 #include "core/simulation.hh"
+#include "detector_fixture.hh"
 #include "sim/reconfig.hh"
 
 namespace wormnet
 {
 namespace
 {
-
-SimulationConfig
-torusConfig(double rate = 0.4)
-{
-    SimulationConfig cfg;
-    cfg.radix = 4;
-    cfg.dims = 2;
-    cfg.flitRate = rate;
-    cfg.oraclePeriod = 64;
-    cfg.seed = 11;
-    return cfg;
-}
 
 TEST(ReconfigPlanParse, GrammarAndStableOrdering)
 {
