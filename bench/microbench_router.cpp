@@ -111,6 +111,41 @@ BM_SaturatedWithRecovery(benchmark::State &state)
 }
 BENCHMARK(BM_SaturatedWithRecovery);
 
+/**
+ * Per-stage cost of the two pipeline phases that dominate a loaded
+ * cycle, normalised per flit-hop: VA (routing + output VC
+ * allocation, routeAll) and SA (switch allocation + flit transfer,
+ * switchAll). Uses the network's own phase timers so the split is
+ * measured exactly where step() spends it, not inferred. Reported as
+ * va_ns_per_hop / sa_ns_per_hop counters; Arg is the torus radix.
+ */
+void
+BM_PhaseNsPerFlitHop(benchmark::State &state)
+{
+    const auto radix = static_cast<unsigned>(state.range(0));
+    // 1.1x the calibrated 16x16 saturation rate, scaled with radix
+    // so every size is driven clearly past its own saturation point.
+    Simulation sim(
+        baseConfig(radix, 2, 1.1 * 0.45 * 16.0 / radix, "ndm:32"));
+    Network &net = sim.net();
+    net.run(2000); // settle into steady state
+    net.enablePhaseTimers(true);
+    net.resetPhaseTimers();
+
+    const Cycle chunk = 200;
+    for (auto _ : state)
+        net.run(chunk);
+
+    const double hops =
+        net.flitHops() > 0 ? double(net.flitHops()) : 1.0;
+    state.counters["va_ns_per_hop"] = double(net.vaNanos()) / hops;
+    state.counters["sa_ns_per_hop"] = double(net.saNanos()) / hops;
+    state.counters["hops_per_cycle"] =
+        hops / double(state.iterations() * chunk);
+    state.SetItemsProcessed(std::int64_t(hops));
+}
+BENCHMARK(BM_PhaseNsPerFlitHop)->Arg(8)->Arg(16);
+
 } // namespace
 
 BENCHMARK_MAIN();

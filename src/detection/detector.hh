@@ -224,6 +224,11 @@ class DeadlockDetector
      * @param stall cycles since its last flit entered the network
      * @return true to mark the message as presumed deadlocked.
      */
+    /** True when the detector consumes onInjectionStalled() reports.
+     *  Router-centric mechanisms leave this false and the network
+     *  skips the per-cycle source-side stall scan entirely. */
+    virtual bool wantsInjectionStallReports() const { return false; }
+
     virtual bool
     onInjectionStalled(NodeId router, PortId in_port, VcId in_vc,
                        MsgId msg, Cycle age, Cycle stall, Cycle now)

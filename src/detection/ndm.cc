@@ -23,9 +23,9 @@ NdmDetector::init(const DetectorContext &ctx)
         std::size_t(ctx.numRouters) * ctx.numOutPorts;
     const std::size_t ins =
         std::size_t(ctx.numRouters) * ctx.numInPorts;
-    counters_.assign(outs, 0);
-    iFlags_.assign(outs, 0);
-    dtFlags_.assign(outs, 0);
+    since_.assign(outs, 0);
+    runMask_.assign(ctx.numRouters, 0);
+    lastCycleEnd_.assign(ctx.numRouters, 0);
     gp_.assign(ins, 0); // P everywhere
     waiting_.assign(ins * ctx.vcs, 0);
     faultyOut_.assign(ctx.numRouters, 0);
@@ -35,7 +35,7 @@ bool
 NdmDetector::onRoutingFailed(NodeId router, PortId in_port, VcId in_vc,
                              MsgId, PortMask feasible_ports,
                              bool input_pc_fully_busy,
-                             bool first_attempt, Cycle)
+                             bool first_attempt, Cycle now)
 {
     // A dead output channel never transmits, so its DT/I flags carry
     // no information about the occupant — judging by them would turn
@@ -62,7 +62,8 @@ NdmDetector::onRoutingFailed(NodeId router, PortId in_port, VcId in_vc,
         while (m) {
             const unsigned q = static_cast<unsigned>(__builtin_ctz(m));
             m &= m - 1;
-            if (!iFlags_[outIdx(router, static_cast<PortId>(q))]) {
+            if (!flagAt(router, static_cast<PortId>(q), now,
+                        params_.t1)) {
                 all_inactive = false;
                 break;
             }
@@ -82,7 +83,7 @@ NdmDetector::onRoutingFailed(NodeId router, PortId in_port, VcId in_vc,
     while (m) {
         const unsigned q = static_cast<unsigned>(__builtin_ctz(m));
         m &= m - 1;
-        if (!dtFlags_[outIdx(router, static_cast<PortId>(q))])
+        if (!flagAt(router, static_cast<PortId>(q), now, params_.t2))
             return false;
     }
     return true;
@@ -134,34 +135,55 @@ NdmDetector::rearm(NodeId router, PortId out_port)
 
 void
 NdmDetector::onCycleEnd(NodeId router, PortMask tx_mask,
-                        PortMask occupied_mask, Cycle)
+                        PortMask occupied_mask, Cycle now)
 {
     occupied_mask &= ~faultyOut_[router];
-    for (PortId q = 0; q < ctx_.numOutPorts; ++q) {
-        const std::size_t idx = outIdx(router, q);
-        const bool tx = (tx_mask >> q) & 1u;
-        if (tx) {
-            if (iFlags_[idx])
-                rearm(router, q);
-            counters_[idx] = 0;
-            iFlags_[idx] = 0;
-            dtFlags_[idx] = 0;
-            continue;
-        }
-        if ((occupied_mask >> q) & 1u) {
-            ++counters_[idx];
-            if (counters_[idx] > params_.t1)
-                iFlags_[idx] = 1;
-            if (counters_[idx] > params_.t2)
-                dtFlags_[idx] = 1;
-        } else {
-            // Channel drained (e.g. worm killed by regressive
-            // recovery): no occupant, nothing to time.
-            counters_[idx] = 0;
-            iFlags_[idx] = 0;
-            dtFlags_[idx] = 0;
-        }
+    PortMask run = runMask_[router];
+
+    // Steady blocked state: nothing transmitted and exactly the
+    // already-running channels are occupied — every counter advances
+    // implicitly, no per-channel work at all.
+    if (tx_mask == 0 && occupied_mask == run) {
+        lastCycleEnd_[router] = now;
+        return;
     }
+
+    // Transmissions end the idle run; a run longer than t1 means the
+    // I flag was set and its reset re-arms P flags to G.
+    PortMask m = tx_mask & run;
+    while (m) {
+        const unsigned q = static_cast<unsigned>(__builtin_ctz(m));
+        m &= m - 1;
+        if (now - since_[outIdx(router, static_cast<PortId>(q))] >
+            params_.t1)
+            rearm(router, static_cast<PortId>(q));
+        since_[outIdx(router, static_cast<PortId>(q))] = 0;
+        run &= ~(PortMask(1) << q);
+    }
+
+    // Channels that just became occupied-and-idle start a run; a
+    // transmitting channel starts counting next cycle at the
+    // earliest, exactly like the counter reset it replaces.
+    m = occupied_mask & ~tx_mask & ~run;
+    while (m) {
+        const unsigned q = static_cast<unsigned>(__builtin_ctz(m));
+        m &= m - 1;
+        since_[outIdx(router, static_cast<PortId>(q))] = now;
+        run |= PortMask(1) << q;
+    }
+
+    // Channel drained without a transmission (e.g. worm killed by
+    // regressive recovery): no occupant, nothing to time.
+    m = run & ~occupied_mask & ~tx_mask;
+    while (m) {
+        const unsigned q = static_cast<unsigned>(__builtin_ctz(m));
+        m &= m - 1;
+        since_[outIdx(router, static_cast<PortId>(q))] = 0;
+        run &= ~(PortMask(1) << q);
+    }
+
+    runMask_[router] = run;
+    lastCycleEnd_[router] = now;
 }
 
 void
@@ -173,10 +195,8 @@ NdmDetector::onPortFaultChanged(NodeId router, PortId out_port,
         faultyOut_[router] |= bit;
         // Forget any inactivity accrued while the channel was alive;
         // it would otherwise trip DT the moment the link is repaired.
-        const std::size_t idx = outIdx(router, out_port);
-        counters_[idx] = 0;
-        iFlags_[idx] = 0;
-        dtFlags_[idx] = 0;
+        since_[outIdx(router, out_port)] = 0;
+        runMask_[router] &= ~bit;
     } else {
         faultyOut_[router] &= ~bit;
     }
@@ -190,8 +210,8 @@ NdmDetector::onRoutingChanged()
     // routing switch those dependencies are stale. Reset every input
     // channel to P and forget the waiting masks — blocked heads are
     // re-presented as first attempts and re-seed G/P soundly. The
-    // inactivity counters and I/DT flags stay: they time physical
-    // channel activity, which the routing change does not invalidate.
+    // inactivity runs stay: they time physical channel activity,
+    // which the routing change does not invalidate.
     std::fill(gp_.begin(), gp_.end(), 0);
     std::fill(waiting_.begin(), waiting_.end(), 0);
 }
@@ -199,12 +219,12 @@ NdmDetector::onRoutingChanged()
 void
 NdmDetector::saveState(Serializer &s) const
 {
-    for (const Cycle c : counters_)
+    for (const Cycle c : since_)
         s.u64(c);
-    for (const std::uint8_t f : iFlags_)
-        s.u8(f);
-    for (const std::uint8_t f : dtFlags_)
-        s.u8(f);
+    for (const PortMask m : runMask_)
+        s.u32(m);
+    for (const Cycle c : lastCycleEnd_)
+        s.u64(c);
     for (const std::uint8_t f : gp_)
         s.u8(f);
     for (const PortMask m : waiting_)
@@ -216,12 +236,12 @@ NdmDetector::saveState(Serializer &s) const
 void
 NdmDetector::loadState(Deserializer &d)
 {
-    for (Cycle &c : counters_)
+    for (Cycle &c : since_)
         c = d.u64();
-    for (std::uint8_t &f : iFlags_)
-        f = d.u8();
-    for (std::uint8_t &f : dtFlags_)
-        f = d.u8();
+    for (PortMask &m : runMask_)
+        m = d.u32();
+    for (Cycle &c : lastCycleEnd_)
+        c = d.u64();
     for (std::uint8_t &f : gp_)
         f = d.u8();
     for (PortMask &m : waiting_)
@@ -245,19 +265,22 @@ NdmDetector::name() const
 Cycle
 NdmDetector::counter(NodeId router, PortId out_port) const
 {
-    return counters_[outIdx(router, out_port)];
+    if (!((runMask_[router] >> out_port) & 1u))
+        return 0;
+    return lastCycleEnd_[router] - since_[outIdx(router, out_port)] +
+           1;
 }
 
 bool
 NdmDetector::iFlag(NodeId router, PortId out_port) const
 {
-    return iFlags_[outIdx(router, out_port)] != 0;
+    return counter(router, out_port) > params_.t1;
 }
 
 bool
 NdmDetector::dtFlag(NodeId router, PortId out_port) const
 {
-    return dtFlags_[outIdx(router, out_port)] != 0;
+    return counter(router, out_port) > params_.t2;
 }
 
 bool

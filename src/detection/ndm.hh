@@ -26,6 +26,17 @@
  *    implementation) or only the flags of input channels with a
  *    blocked head waiting on that output channel (the selective
  *    variant the paper leaves as future work).
+ *
+ * Representation: the per-channel counters and I/DT flags are not
+ * stored materially. A channel that is occupied and idle holds only
+ * the cycle its idle run began (since_) plus a run bit in the node's
+ * runMask_; the counter is the run length (now - since + 1) and the
+ * flags are threshold comparisons against it, evaluated at read time.
+ * This turns the per-node cycle-end work — formerly a loop over every
+ * output channel incrementing counters and testing thresholds — into
+ * pure mask arithmetic that is zero-cost in the steady blocked state
+ * (no transmissions, occupied set unchanged), which is exactly the
+ * state a congested or deadlocking network spends most cycles in.
  */
 
 #ifndef WORMNET_DETECTION_NDM_HH
@@ -132,13 +143,28 @@ class NdmDetector : public DeadlockDetector
     /** Apply the re-arm policy after I on @p out_port was reset. */
     void rearm(NodeId router, PortId out_port);
 
+    /** Inactivity flag of (router, out_port) as observed during cycle
+     *  @p now (i.e. after the cycle-end of now - 1): the channel has
+     *  an idle run longer than @p threshold cycles. */
+    bool
+    flagAt(NodeId router, PortId out_port, Cycle now,
+           Cycle threshold) const
+    {
+        return ((runMask_[router] >> out_port) & 1u) &&
+               now - since_[outIdx(router, out_port)] > threshold;
+    }
+
     NdmParams params_;
     DetectorContext ctx_;
 
-    /** Per output physical channel. */
-    std::vector<Cycle> counters_;
-    std::vector<std::uint8_t> iFlags_;
-    std::vector<std::uint8_t> dtFlags_;
+    /** Per output physical channel: cycle the current occupied-idle
+     *  run started (0 and don't-care when the run bit is clear). */
+    std::vector<Cycle> since_;
+    /** Per router: output channels with an idle run in progress. */
+    std::vector<PortMask> runMask_;
+    /** Per router: the `now` of its newest onCycleEnd — anchors the
+     *  white-box counter/flag accessors, which have no now param. */
+    std::vector<Cycle> lastCycleEnd_;
 
     /** Per input physical channel: true = G. */
     std::vector<std::uint8_t> gp_;

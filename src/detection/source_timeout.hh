@@ -43,6 +43,7 @@ class SourceTimeoutDetectorBase : public DeadlockDetector
     }
     void onCycleEnd(NodeId, PortMask, PortMask, Cycle) override {}
     bool idleCycleEndStable() const override { return true; }
+    bool wantsInjectionStallReports() const override { return true; }
 
   protected:
     Cycle threshold_;

@@ -2,12 +2,23 @@
  * @file
  * Virtual-channel state: flit FIFOs, input-side VC records and
  * output-side VC allocation/credit records.
+ *
+ * Since the struct-of-arrays layout change, the flit storage of every
+ * network FIFO lives in one contiguous slab owned by the network's
+ * VcStore (src/router/vc_state.hh); a FlitFifo is then a bound view
+ * into its fixed slab slice. A FlitFifo constructed standalone with a
+ * capacity (unit tests, tools) owns a private buffer instead — the
+ * ring-buffer semantics are identical either way. Indices wrap with a
+ * power-of-two mask; the *logical* capacity may still be any value
+ * >= 1 (the physical slice is rounded up to the next power of two).
  */
 
 #ifndef WORMNET_ROUTER_CHANNEL_HH
 #define WORMNET_ROUTER_CHANNEL_HH
 
-#include <vector>
+#include <bit>
+#include <cstdint>
+#include <memory>
 
 #include "common/contracts.hh"
 #include "common/log.hh"
@@ -17,26 +28,50 @@
 namespace wormnet
 {
 
-/** Fixed-capacity ring buffer of flits. */
+/** Fixed-capacity ring buffer of flits (pow2-masked indexing). */
 class FlitFifo
 {
   public:
-    explicit FlitFifo(std::size_t capacity = 4)
-        : buf_(capacity)
+    /** Physical slot count backing a logical capacity. */
+    static std::uint32_t
+    slotsFor(std::size_t capacity)
     {
-        WORMNET_ASSERT(capacity >= 1);
+        return std::bit_ceil(static_cast<std::uint32_t>(capacity));
     }
 
-    std::size_t capacity() const { return buf_.size(); }
+    /** Unbound view: storage is attached later via bind(). */
+    FlitFifo() = default;
+
+    /** Standalone FIFO owning its buffer. */
+    explicit FlitFifo(std::size_t capacity)
+    {
+        WORMNET_ASSERT(capacity >= 1);
+        owned_ = std::make_unique<Flit[]>(slotsFor(capacity));
+        bind(owned_.get(), capacity);
+    }
+
+    /** Point this FIFO at @p slotsFor(capacity) slots at @p buf. */
+    void
+    bind(Flit *buf, std::size_t capacity)
+    {
+        WORMNET_ASSERT(capacity >= 1);
+        buf_ = buf;
+        cap_ = static_cast<std::uint32_t>(capacity);
+        mask_ = slotsFor(capacity) - 1;
+        head_ = 0;
+        size_ = 0;
+    }
+
+    std::size_t capacity() const { return cap_; }
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
-    bool full() const { return size_ == buf_.size(); }
+    bool full() const { return size_ == cap_; }
 
     void
     push(const Flit &flit)
     {
         WORMNET_ASSERT(!full());
-        buf_[(head_ + size_) % buf_.size()] = flit;
+        buf_[(head_ + size_) & mask_] = flit;
         ++size_;
     }
 
@@ -52,7 +87,7 @@ class FlitFifo
     {
         WORMNET_ASSERT(!empty());
         Flit f = buf_[head_];
-        head_ = (head_ + 1) % buf_.size();
+        head_ = (head_ + 1) & mask_;
         --size_;
         return f;
     }
@@ -73,9 +108,9 @@ class FlitFifo
     void
     saveState(S &s) const
     {
-        s.u32(static_cast<std::uint32_t>(size_));
-        for (std::size_t i = 0; i < size_; ++i) {
-            const Flit &f = buf_[(head_ + i) % buf_.size()];
+        s.u32(size_);
+        for (std::uint32_t i = 0; i < size_; ++i) {
+            const Flit &f = buf_[(head_ + i) & mask_];
             s.u32(f.msg);
             s.u8(static_cast<std::uint8_t>(f.type));
             s.u64(f.readyAt);
@@ -88,7 +123,7 @@ class FlitFifo
     {
         clear();
         const std::uint32_t n = d.u32();
-        WORMNET_ASSERT(n <= buf_.size());
+        WORMNET_ASSERT(n <= cap_);
         for (std::uint32_t i = 0; i < n; ++i) {
             Flit f;
             f.msg = d.u32();
@@ -99,9 +134,12 @@ class FlitFifo
     }
 
   private:
-    std::vector<Flit> buf_;
-    std::size_t head_ = 0;
-    std::size_t size_ = 0;
+    Flit *buf_ = nullptr;
+    std::uint32_t cap_ = 0;  ///< logical capacity
+    std::uint32_t mask_ = 0; ///< physical-slot index mask (pow2 - 1)
+    std::uint32_t head_ = 0;
+    std::uint32_t size_ = 0;
+    std::unique_ptr<Flit[]> owned_; ///< standalone mode only
 };
 
 /**
@@ -110,6 +148,11 @@ class FlitFifo
  */
 struct InputVc
 {
+    /** Unbound record for slab-backed storage (VcStore binds the
+     *  fifo). */
+    InputVc() = default;
+
+    /** Standalone record owning its flit buffer (unit tests). */
     explicit InputVc(std::size_t buf_depth) : fifo(buf_depth) {}
 
     FlitFifo fifo;
@@ -117,6 +160,11 @@ struct InputVc
     /** Worm occupying this VC (set at head enqueue, cleared at tail
      *  dequeue); kInvalidMsg when free. */
     MsgId msg = kInvalidMsg;
+
+    /** Destination of the occupying worm, cached from the message at
+     *  head enqueue so the routing phase never touches the message
+     *  store. Derived state: rebuilt on checkpoint load. */
+    NodeId dst = kInvalidNode;
 
     /** @name Routing decision for the occupying worm's head. */
     /// @{
@@ -143,6 +191,12 @@ struct InputVc
      *  Network::syncRoutable(); nothing else may write it. */
     bool inRouteSet = false;
 
+    /** Injection VCs only: the occupying message has pushed all of
+     *  its flits (flitsInjected == length). Lets the injection scan
+     *  skip the message-store load for fully injected worms. Derived
+     *  state: rebuilt on checkpoint load. */
+    bool injDone = false;
+
     bool free() const { return msg == kInvalidMsg; }
 
     /** Reset per-worm state when the worm fully leaves the VC. */
@@ -150,6 +204,7 @@ struct InputVc
     release()
     {
         msg = kInvalidMsg;
+        dst = kInvalidNode;
         routed = false;
         outPort = kInvalidPort;
         outVc = kInvalidVc;
@@ -158,10 +213,11 @@ struct InputVc
         lastFeasible = 0;
         headBlockedSince = kNever;
         recovering = false;
+        injDone = false;
     }
 
-    /** Checkpoint support. inRouteSet is rebuilt by the Network's
-     *  activity restore, not read back from the payload. */
+    /** Checkpoint support. inRouteSet, dst and injDone are rebuilt by
+     *  the Network's activity restore, not read back. */
     template <typename S>
     void
     saveState(S &s) const
@@ -193,6 +249,8 @@ struct InputVc
         headBlockedSince = d.u64();
         recovering = d.boolean();
         inRouteSet = false;
+        dst = kInvalidNode;
+        injDone = false;
     }
 };
 

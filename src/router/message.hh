@@ -2,12 +2,25 @@
  * @file
  * Message bookkeeping: lifecycle state, timestamps and the chain of
  * virtual channels the worm currently occupies.
+ *
+ * Worm paths used to be a private std::vector<PathLink> per message —
+ * one heap allocation (and permanent capacity retention) for each of
+ * the millions of messages a long run generates. They now live in a
+ * chunked slab arena owned by the MessageStore: path blocks are
+ * power-of-two sized, handed out from large chunks, recycled through
+ * per-size freelists the moment a worm fully leaves the network
+ * (delivery, recovery drain, kill), and dropped wholesale on
+ * checkpoint load. Chunks never move, so the raw block pointer a
+ * Message holds stays valid until the block is freed.
  */
 
 #ifndef WORMNET_ROUTER_MESSAGE_HH
 #define WORMNET_ROUTER_MESSAGE_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/contracts.hh"
@@ -37,9 +50,98 @@ struct PathLink
 };
 
 /**
+ * Chunked slab arena for worm path blocks.
+ *
+ * Blocks are power-of-two numbers of PathLinks (minimum 4), carved
+ * from fixed 64Ki-link chunks by pointer bump and recycled through a
+ * freelist per size class. Chunks are never returned to the OS until
+ * clear()/destruction, so the arena's peak footprint tracks the peak
+ * number of links *simultaneously in flight* — not the total message
+ * population, which is what the per-message vectors retained.
+ */
+class PathSlab
+{
+  public:
+    static constexpr std::uint32_t kMinBlock = 4;
+    static constexpr std::uint32_t kChunkLinks = 1u << 16;
+    /** Size classes: 4, 8, ..., 65536 links. */
+    static constexpr unsigned kClasses = 15;
+
+    PathLink *
+    alloc(std::uint32_t cap)
+    {
+        const unsigned cls = classOf(cap);
+        if (!free_[cls].empty()) {
+            PathLink *p = free_[cls].back();
+            free_[cls].pop_back();
+            return p;
+        }
+        const std::uint32_t want = kMinBlock << cls;
+        if (used_ + want > kChunkLinks) {
+            chunks_.push_back(
+                std::make_unique<PathLink[]>(kChunkLinks));
+            used_ = 0;
+        }
+        PathLink *p = chunks_.back().get() + used_;
+        used_ += want;
+        return p;
+    }
+
+    void
+    release(PathLink *p, std::uint32_t cap)
+    {
+        free_[classOf(cap)].push_back(p);
+    }
+
+    /** Drop every block and chunk (checkpoint load). */
+    void
+    clear()
+    {
+        chunks_.clear();
+        used_ = kChunkLinks;
+        for (auto &fl : free_)
+            fl.clear();
+    }
+
+    /** Links currently reachable through live chunks (footprint). */
+    std::size_t
+    capacityLinks() const
+    {
+        return chunks_.size() * std::size_t(kChunkLinks);
+    }
+
+    /** Round @p cap up to its size class capacity. */
+    static std::uint32_t
+    blockCap(std::uint32_t cap)
+    {
+        return kMinBlock << classOf(cap);
+    }
+
+  private:
+    static unsigned
+    classOf(std::uint32_t cap)
+    {
+        unsigned cls = 0;
+        while ((kMinBlock << cls) < cap)
+            ++cls;
+        WORMNET_ASSERT(cls < kClasses);
+        return cls;
+    }
+
+    std::vector<std::unique_ptr<PathLink[]>> chunks_;
+    std::uint32_t used_ = kChunkLinks; ///< forces a chunk on 1st alloc
+    std::vector<PathLink *> free_[kClasses];
+};
+
+/**
  * A message and its simulation state. The occupied-VC chain (tail end
  * first) enables regressive recovery and the ground-truth oracle to
  * walk the worm without scanning the whole network.
+ *
+ * The chain lives in a PathSlab block; the owning MessageStore binds
+ * its slab at creation (and on checkpoint load), so standalone
+ * Message values must be obtained through a MessageStore before
+ * pushLink() may be used.
  */
 struct Message
 {
@@ -77,28 +179,29 @@ struct Message
     void
     pushLink(NodeId node, PortId port, VcId vc)
     {
-        links_.push_back(PathLink{node, port, vc});
+        WORMNET_ASSERT(slab_ != nullptr);
+        if (count_ == cap_)
+            growPath();
+        path_[count_++] = PathLink{node, port, vc};
     }
 
     void
     popFrontLink()
     {
-        WORMNET_ASSERT(frontIdx_ < links_.size());
-        ++frontIdx_;
-        if (frontIdx_ == links_.size()) {
-            links_.clear();
-            frontIdx_ = 0;
-        }
+        WORMNET_ASSERT(front_ < count_);
+        ++front_;
+        if (front_ == count_)
+            clearLinks(); // worm fully left: recycle the block now
     }
 
-    std::size_t numLinks() const { return links_.size() - frontIdx_; }
+    std::size_t numLinks() const { return count_ - front_; }
 
     /** i-th held VC from the tail end (0 = oldest still held). */
     const PathLink &
     link(std::size_t i) const
     {
-        WORMNET_ASSERT(frontIdx_ + i < links_.size());
-        return links_[frontIdx_ + i];
+        WORMNET_ASSERT(front_ + i < count_);
+        return path_[front_ + i];
     }
 
     /** Newest held VC — where the head flit was last enqueued. */
@@ -106,21 +209,30 @@ struct Message
     headLink() const
     {
         WORMNET_ASSERT(numLinks() > 0);
-        return links_.back();
+        return path_[count_ - 1];
     }
 
+    /** Drop the chain and return its block to the slab. */
     void
     clearLinks()
     {
-        links_.clear();
-        frontIdx_ = 0;
+        if (path_ != nullptr) {
+            slab_->release(path_, cap_);
+            path_ = nullptr;
+        }
+        cap_ = 0;
+        front_ = 0;
+        count_ = 0;
     }
     /// @}
+
+    /** Bound by the owning MessageStore. */
+    void bindSlab(PathSlab *slab) { slab_ = slab; }
 
     /**
      * Checkpoint support. Only the logically held links (from the
      * current front) are written, so a restored message is normalised
-     * to frontIdx_ == 0; pop order is unaffected.
+     * to front_ == 0; pop order is unaffected.
      */
     template <typename S>
     void
@@ -171,9 +283,13 @@ struct Message
         retries = d.u32();
         recovered = d.boolean();
         faultKillQueued = d.boolean();
-        clearLinks();
+        // The store wiped the slab before loading: the stale block
+        // pointer must not be released back.
+        path_ = nullptr;
+        cap_ = 0;
+        front_ = 0;
+        count_ = 0;
         const std::uint32_t n = d.u32();
-        links_.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i) {
             const NodeId node = d.u32();
             const PortId port = d.u16();
@@ -183,8 +299,30 @@ struct Message
     }
 
   private:
-    std::vector<PathLink> links_;
-    std::size_t frontIdx_ = 0;
+    void
+    growPath()
+    {
+        const std::uint32_t newCap =
+            cap_ == 0 ? PathSlab::kMinBlock
+                      : PathSlab::blockCap(cap_ + 1);
+        PathLink *p = slab_->alloc(newCap);
+        const std::uint32_t live = count_ - front_;
+        if (live > 0)
+            std::memcpy(p, path_ + front_,
+                        live * sizeof(PathLink));
+        if (path_ != nullptr)
+            slab_->release(path_, cap_);
+        path_ = p;
+        cap_ = newCap;
+        front_ = 0;
+        count_ = live;
+    }
+
+    PathSlab *slab_ = nullptr;
+    PathLink *path_ = nullptr;
+    std::uint32_t cap_ = 0;
+    std::uint32_t front_ = 0;
+    std::uint32_t count_ = 0;
 };
 
 /** Dense store of all messages ever generated in a simulation. */
@@ -198,6 +336,7 @@ class MessageStore
     {
         const MsgId id = static_cast<MsgId>(messages_.size());
         Message m;
+        m.bindSlab(&slab_);
         m.id = id;
         m.src = src;
         m.dst = dst;
@@ -224,6 +363,9 @@ class MessageStore
 
     std::size_t size() const { return messages_.size(); }
 
+    /** Path-slab footprint in links (peak worm-path memory). */
+    std::size_t pathSlabLinks() const { return slab_.capacityLinks(); }
+
     /** Checkpoint support: the whole population, ids implicit. */
     template <typename S>
     void
@@ -238,13 +380,17 @@ class MessageStore
     void
     loadState(D &d)
     {
+        slab_.clear();
         messages_.assign(d.u64(), Message{});
-        for (Message &m : messages_)
+        for (Message &m : messages_) {
+            m.bindSlab(&slab_);
             m.loadState(d);
+        }
     }
 
   private:
     std::vector<Message> messages_;
+    PathSlab slab_;
 };
 
 } // namespace wormnet

@@ -13,19 +13,39 @@ Router::Router(NodeId node, const RouterParams &params)
     WORMNET_ASSERT(params.numOutPorts() <= 32,
               " (PortMask is 32 bits wide)");
 
-    inputVcs_.reserve(params.numInPorts() * params.vcs);
+    ownIn_.reserve(params.numInPorts() * params.vcs);
     for (unsigned i = 0; i < params.numInPorts() * params.vcs; ++i)
-        inputVcs_.emplace_back(params.bufDepth);
-
-    outputVcs_.resize(params.numOutPorts() * params.vcs);
-    for (auto &ovc : outputVcs_)
+        ownIn_.emplace_back(params.bufDepth);
+    ownOut_.resize(params.numOutPorts() * params.vcs);
+    for (auto &ovc : ownOut_)
         ovc.credits = params.bufDepth;
+    in_ = ownIn_.data();
+    out_ = ownOut_.data();
 
-    down_.resize(params.numOutPorts());
-    up_.resize(params.numInPorts());
-    lastTx_.assign(params.numOutPorts(), 0);
-    saRoundRobin.assign(params.numOutPorts(), 0);
-    injRoundRobin.assign(params.injPorts, 0);
+    initCommon();
+}
+
+Router::Router(NodeId node, const RouterParams &params, InputVc *in,
+               OutputVc *out)
+    : node_(node), params_(params), in_(in), out_(out)
+{
+    WORMNET_ASSERT(params.vcs >= 1);
+    WORMNET_ASSERT(params.bufDepth >= 1);
+    WORMNET_ASSERT(params.numOutPorts() <= 32,
+              " (PortMask is 32 bits wide)");
+    WORMNET_ASSERT(in != nullptr && out != nullptr);
+
+    initCommon();
+}
+
+void
+Router::initCommon()
+{
+    down_.resize(params_.numOutPorts());
+    up_.resize(params_.numInPorts());
+    lastTx_.assign(params_.numOutPorts(), 0);
+    saRoundRobin.assign(params_.numOutPorts(), 0);
+    injRoundRobin.assign(params_.injPorts, 0);
 }
 
 bool

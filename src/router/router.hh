@@ -48,11 +48,28 @@ struct LinkEnd
     bool valid() const { return node != kInvalidNode; }
 };
 
-/** One router's complete state. */
+/**
+ * One router's complete state.
+ *
+ * Since the struct-of-arrays layout change the VC records of every
+ * router in a network live in the Network's global VcStore arrays
+ * (vc_state.hh); a network-owned Router is a thin view over its
+ * node-sized slice, so detectors, recovery managers, the oracle and
+ * checkpoint code keep programming against the same API while the
+ * per-cycle sweeps walk dense contiguous memory. A Router constructed
+ * standalone (unit tests, tools) owns private backing vectors with
+ * identical semantics.
+ */
 class Router
 {
   public:
+    /** Standalone router owning its VC storage. */
     Router(NodeId node, const RouterParams &params);
+
+    /** View over externally owned VC arrays (VcStore slices); @p in
+     *  and @p out must stay valid for the router's lifetime. */
+    Router(NodeId node, const RouterParams &params, InputVc *in,
+           OutputVc *out);
 
     NodeId nodeId() const { return node_; }
     const RouterParams &params() const { return params_; }
@@ -79,29 +96,37 @@ class Router
     inputVc(PortId port, VcId vc)
     {
         WORMNET_ASSERT(port < numInPorts() && vc < params_.vcs);
-        return inputVcs_[port * params_.vcs + vc];
+        return in_[port * params_.vcs + vc];
     }
 
     const InputVc &
     inputVc(PortId port, VcId vc) const
     {
         WORMNET_ASSERT(port < numInPorts() && vc < params_.vcs);
-        return inputVcs_[port * params_.vcs + vc];
+        return in_[port * params_.vcs + vc];
     }
 
     OutputVc &
     outputVc(PortId port, VcId vc)
     {
         WORMNET_ASSERT(port < numOutPorts() && vc < params_.vcs);
-        return outputVcs_[port * params_.vcs + vc];
+        return out_[port * params_.vcs + vc];
     }
 
     const OutputVc &
     outputVc(PortId port, VcId vc) const
     {
         WORMNET_ASSERT(port < numOutPorts() && vc < params_.vcs);
-        return outputVcs_[port * params_.vcs + vc];
+        return out_[port * params_.vcs + vc];
     }
+
+    /** @name Raw slice access (hot-path sweeps in sim/Network). */
+    /// @{
+    InputVc *inputVcs() { return in_; }
+    const InputVc *inputVcs() const { return in_; }
+    OutputVc *outputVcs() { return out_; }
+    const OutputVc *outputVcs() const { return out_; }
+    /// @}
 
     /** All virtual channels of input physical channel @p port busy? */
     bool inputPcFullyBusy(PortId port) const;
@@ -156,10 +181,12 @@ class Router
     void
     saveState(S &s) const
     {
-        for (const InputVc &vc : inputVcs_)
-            vc.saveState(s);
-        for (const OutputVc &vc : outputVcs_)
-            vc.saveState(s);
+        const unsigned ins = numInPorts() * params_.vcs;
+        const unsigned outs = numOutPorts() * params_.vcs;
+        for (unsigned i = 0; i < ins; ++i)
+            in_[i].saveState(s);
+        for (unsigned i = 0; i < outs; ++i)
+            out_[i].saveState(s);
         for (const Cycle c : lastTx_)
             s.u64(c);
         for (const unsigned r : saRoundRobin)
@@ -172,10 +199,12 @@ class Router
     void
     loadState(D &d)
     {
-        for (InputVc &vc : inputVcs_)
-            vc.loadState(d);
-        for (OutputVc &vc : outputVcs_)
-            vc.loadState(d);
+        const unsigned ins = numInPorts() * params_.vcs;
+        const unsigned outs = numOutPorts() * params_.vcs;
+        for (unsigned i = 0; i < ins; ++i)
+            in_[i].loadState(d);
+        for (unsigned i = 0; i < outs; ++i)
+            out_[i].loadState(d);
         for (Cycle &c : lastTx_)
             c = d.u64();
         for (unsigned &r : saRoundRobin)
@@ -185,10 +214,17 @@ class Router
     }
 
   private:
+    /** Shared post-construction wiring (link ends, arbitration). */
+    void initCommon();
+
     NodeId node_;
     RouterParams params_;
-    std::vector<InputVc> inputVcs_;
-    std::vector<OutputVc> outputVcs_;
+    /** Views into the backing VC arrays: a VcStore slice for
+     *  network-owned routers, ownIn_/ownOut_ for standalone ones. */
+    InputVc *in_ = nullptr;
+    OutputVc *out_ = nullptr;
+    std::vector<InputVc> ownIn_;
+    std::vector<OutputVc> ownOut_;
     std::vector<LinkEnd> down_;
     std::vector<LinkEnd> up_;
     std::vector<Cycle> lastTx_;

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Network-global struct-of-arrays virtual-channel storage.
+ *
+ * Before this layer, every Router owned private std::vectors of
+ * InputVc/OutputVc records and every FlitFifo owned a private heap
+ * buffer — per-cycle scans pointer-hopped through hundreds of router
+ * objects and thousands of tiny allocations. VcStore hoists all of it
+ * into three contiguous arrays indexed by a flat (node, port, vc) id:
+ *
+ *   in   [node * inPorts  * vcs + port * vcs + vc]   InputVc records
+ *   out  [node * outPorts * vcs + port * vcs + vc]   OutputVc records
+ *   slab [flatInputId * slotsPerFifo ...]            flit buffers
+ *
+ * A node's complete VC state is therefore a few adjacent cache lines,
+ * and whole-network sweeps (switch allocation, routing, detection,
+ * checkpointing) walk dense memory in flat-id order. Router objects
+ * stay the API everyone programs against, but become thin views over
+ * a node-sized slice of these arrays (see router.hh).
+ *
+ * The arrays are sized once at construction and never reallocate, so
+ * raw pointers and flat ids into them stay valid for the lifetime of
+ * the network.
+ */
+
+#ifndef WORMNET_ROUTER_VC_STATE_HH
+#define WORMNET_ROUTER_VC_STATE_HH
+
+#include <vector>
+
+#include "common/contracts.hh"
+#include "common/types.hh"
+#include "router/channel.hh"
+#include "router/router.hh"
+
+namespace wormnet
+{
+
+/** Flat, contiguous VC state for every router in a network. */
+class VcStore
+{
+  public:
+    VcStore() = default;
+
+    void
+    init(NodeId nodes, const RouterParams &params)
+    {
+        nodes_ = nodes;
+        inPerNode_ = params.numInPorts() * params.vcs;
+        outPerNode_ = params.numOutPorts() * params.vcs;
+        slotsPerFifo_ = FlitFifo::slotsFor(params.bufDepth);
+
+        in_.clear();
+        out_.clear();
+        in_.resize(std::size_t(nodes) * inPerNode_);
+        out_.resize(std::size_t(nodes) * outPerNode_);
+        slab_.assign(in_.size() * slotsPerFifo_, Flit{});
+
+        for (std::size_t i = 0; i < in_.size(); ++i)
+            in_[i].fifo.bind(&slab_[i * slotsPerFifo_],
+                             params.bufDepth);
+        for (OutputVc &ovc : out_)
+            ovc.credits = params.bufDepth;
+    }
+
+    NodeId numNodes() const { return nodes_; }
+    unsigned inPerNode() const { return inPerNode_; }
+    unsigned outPerNode() const { return outPerNode_; }
+
+    /** First input VC of @p node (the node's inPerNode()-long run). */
+    InputVc *
+    inBase(NodeId node)
+    {
+        WORMNET_ASSERT(node < nodes_);
+        return in_.data() + std::size_t(node) * inPerNode_;
+    }
+
+    const InputVc *
+    inBase(NodeId node) const
+    {
+        WORMNET_ASSERT(node < nodes_);
+        return in_.data() + std::size_t(node) * inPerNode_;
+    }
+
+    /** First output VC of @p node. */
+    OutputVc *
+    outBase(NodeId node)
+    {
+        WORMNET_ASSERT(node < nodes_);
+        return out_.data() + std::size_t(node) * outPerNode_;
+    }
+
+    const OutputVc *
+    outBase(NodeId node) const
+    {
+        WORMNET_ASSERT(node < nodes_);
+        return out_.data() + std::size_t(node) * outPerNode_;
+    }
+
+    /** @name Whole-network flat access (hot-path sweeps). */
+    /// @{
+    InputVc &inAt(std::size_t flat) { return in_[flat]; }
+    const InputVc &inAt(std::size_t flat) const { return in_[flat]; }
+    OutputVc &outAt(std::size_t flat) { return out_[flat]; }
+    const OutputVc &outAt(std::size_t flat) const { return out_[flat]; }
+    std::size_t numIn() const { return in_.size(); }
+    std::size_t numOut() const { return out_.size(); }
+    /// @}
+
+  private:
+    NodeId nodes_ = 0;
+    unsigned inPerNode_ = 0;
+    unsigned outPerNode_ = 0;
+    std::uint32_t slotsPerFifo_ = 0;
+    std::vector<InputVc> in_;
+    std::vector<OutputVc> out_;
+    std::vector<Flit> slab_;
+};
+
+} // namespace wormnet
+
+#endif // WORMNET_ROUTER_VC_STATE_HH

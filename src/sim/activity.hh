@@ -67,6 +67,33 @@ class NodeBitset
         return true;
     }
 
+    /**
+     * Visit the members in ascending node order, word-at-a-time.
+     *
+     * Each 64-bit word is copied before its bits are scanned, so the
+     * callback may erase members: erasing a node in a *later* word
+     * skips it (it no longer does work), erasing one in the current
+     * word still visits it (its handler is a no-op by the same state
+     * change that caused the erase). Inserting into the set mid-walk
+     * is not supported — no per-cycle phase does it on its own set.
+     * This replaces the snapshot-into-a-scratch-vector pattern: same
+     * visit order, no intermediate store/reload pass.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            std::uint64_t w = words_[wi];
+            while (w) {
+                const unsigned b = static_cast<unsigned>(
+                    __builtin_ctzll(w));
+                w &= w - 1;
+                fn(static_cast<NodeId>((wi << 6) + b));
+            }
+        }
+    }
+
     /** Append the members to @p out in ascending node order. */
     void
     appendTo(std::vector<NodeId> &out) const

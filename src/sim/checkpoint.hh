@@ -42,8 +42,10 @@ namespace wormnet
 
 /** Bumped on any change to a serialized payload layout.
  *  v2: control-traffic counters appended to SimStats; DWFG detector
- *  payload (channel mirror + in-flight probe tokens). */
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+ *  payload (channel mirror + in-flight probe tokens).
+ *  v3: NDM stores inactivity run starts (since/runMask/lastCycleEnd)
+ *  instead of materialized counters and I/DT flag bytes. */
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /**
  * Atomically write @p payload to @p path under the container

@@ -1,0 +1,27 @@
+#include "sim/metrics.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace wormnet
+{
+
+void
+SimStats::samplePeakRss()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+        // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+        peakRssBytes = static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+        peakRssBytes =
+            static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+    }
+#endif
+}
+
+} // namespace wormnet

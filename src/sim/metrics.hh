@@ -109,6 +109,22 @@ struct SimStats
     RunningStat detectionLatency;
     /// @}
 
+    /**
+     * Peak resident-set size of the whole process, in bytes, as of
+     * the last samplePeakRss() call (0 until then, or on platforms
+     * without getrusage). Diagnostic only — it measures the host
+     * process, not the simulated hardware — so it is deliberately
+     * NOT serialized: a checkpoint restored on another machine must
+     * not inherit the saving machine's memory footprint, and the
+     * byte-exact resume tests would otherwise diverge. Benchmarks
+     * sample it after their measured runs to keep the message-store
+     * growth behaviour visible in BENCH_hotpath.json.
+     */
+    std::uint64_t peakRssBytes = 0;
+
+    /** Refresh peakRssBytes from the OS (ru_maxrss). */
+    void samplePeakRss();
+
     /** Checkpoint support: every counter and accumulator. */
     template <typename S>
     void

@@ -1,6 +1,7 @@
 #include "sim/network.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -36,9 +37,14 @@ Network::Network(const Topology &topo, const NetworkParams &params,
         fatal("length distribution produces empty messages");
 
     const NodeId n = topo.numNodes();
+    nNodes_ = n; // memoised: numNodes() sits in per-cycle loop bounds
+    // All VC records and flit buffers live in the network-global
+    // struct-of-arrays store; each Router is a view over its slice.
+    vcStore_.init(n, routerParams_);
     routers_.reserve(n);
     for (NodeId i = 0; i < n; ++i)
-        routers_.emplace_back(i, routerParams_);
+        routers_.emplace_back(i, routerParams_, vcStore_.inBase(i),
+                              vcStore_.outBase(i));
 
     // Wire the network links following the port convention.
     for (NodeId i = 0; i < n; ++i) {
@@ -86,6 +92,7 @@ Network::Network(const Topology &topo, const NetworkParams &params,
     detActive_.init(n);
     detectorIdleStable_ = detector_.idleCycleEndStable();
     detectorWantsCandidates_ = detector_.wantsBlockedCandidates();
+    detectorWantsInjStall_ = detector_.wantsInjectionStallReports();
     detectorDeadMask_.assign(n, 0);
 
     // Steady-state churn should never reallocate the per-cycle
@@ -98,6 +105,31 @@ Network::Network(const Topology &topo, const NetworkParams &params,
     freeScratch_.reserve(std::size_t(outPorts_) * vcs_);
     blockedCandScratch_.reserve(outPorts_);
 
+    // The SoA occupancy masks and the route-candidate cache.
+    outAllocVcMask_.assign(std::size_t(n) * outPorts_, 0);
+    downFreeVcMask_.assign(std::size_t(n) * outPorts_, 0);
+    const std::uint32_t all_vcs = (std::uint32_t(1) << vcs_) - 1;
+    for (NodeId i = 0; i < n; ++i) {
+        for (PortId q = 0; q < outPorts_; ++q) {
+            // Ejection ports always accept; dangling mesh-edge ports
+            // never do; network links start with every lane free.
+            if (routers_[i].isEjectionPort(q) ||
+                routers_[i].downstream(q).valid())
+                downFreeVcMask_[std::size_t(i) * outPorts_ + q] =
+                    all_vcs;
+        }
+    }
+    candMsg_.assign(std::size_t(n) * inPorts_ * vcs_, kInvalidMsg);
+    candCount_.assign(candMsg_.size(), 0);
+    candPort_.assign(candMsg_.size() * outPorts_, 0);
+    candMask_.assign(candMsg_.size() * outPorts_, 0);
+    candPortOv_.reserve(2 * outPorts_);
+    candMaskOv_.reserve(2 * outPorts_);
+    routableVcMask_.assign(std::size_t(n) * inPorts_, 0);
+    switchCandVcMask_.assign(std::size_t(n) * outPorts_, 0);
+    injIncomplete_.assign(n, 0);
+    injSlots_ = routerParams_.injPorts * vcs_;
+
     // Full-level contract builds (WORMNET_CONTRACTS=full) run the
     // brute-force active-set cross-check every cycle by default; the
     // WORMNET_CHECK_ACTIVE_SETS environment variable overrides in
@@ -105,6 +137,10 @@ Network::Network(const Topology &topo, const NetworkParams &params,
     checkActiveSets_ = WORMNET_INVARIANT_ENABLED;
     if (const char *check = std::getenv("WORMNET_CHECK_ACTIVE_SETS"))
         checkActiveSets_ = std::strcmp(check, "0") != 0;
+    // Same convention for the SoA mirror cross-check.
+    checkSoa_ = WORMNET_INVARIANT_ENABLED;
+    if (const char *check = std::getenv("WORMNET_CHECK_SOA"))
+        checkSoa_ = std::strcmp(check, "0") != 0;
 
     DetectorContext ctx;
     ctx.numRouters = n;
@@ -168,10 +204,14 @@ Network::syncRoutable(NodeId node, PortId port, VcId vc)
     ivc.inRouteSet = want;
     if (want) {
         ++routablePerPort_[std::size_t(node) * inPorts_ + port];
+        routableVcMask_[std::size_t(node) * inPorts_ + port] |=
+            std::uint32_t(1) << vc;
         if (routablePerNode_[node]++ == 0)
             routeActive_.insert(node);
     } else {
         --routablePerPort_[std::size_t(node) * inPorts_ + port];
+        routableVcMask_[std::size_t(node) * inPorts_ + port] &=
+            ~(std::uint32_t(1) << vc);
         if (--routablePerNode_[node] == 0)
             routeActive_.erase(node);
     }
@@ -196,6 +236,13 @@ Network::allocOutputVc(NodeId node, PortId port, VcId vc, MsgId msg,
     out.msg = msg;
     out.srcPort = src_port;
     out.srcVc = src_vc;
+    outAllocVcMask_[std::size_t(node) * outPorts_ + port] |=
+        std::uint32_t(1) << vc;
+    // Fresh allocations always qualify: full credit budget, head
+    // flit still buffered in the source VC, and routing never grants
+    // a recovering head.
+    switchCandVcMask_[std::size_t(node) * outPorts_ + port] |=
+        std::uint32_t(1) << vc;
     if (allocPerPort_[std::size_t(node) * outPorts_ + port]++ == 0)
         allocOutMask_[node] |= PortMask(1) << port;
     if (allocPerNode_[node]++ == 0)
@@ -211,6 +258,10 @@ Network::releaseOutputVc(NodeId node, PortId port, VcId vc)
     OutputVc &out = routers_[node].outputVc(port, vc);
     WORMNET_ASSERT(out.allocated);
     out.release();
+    outAllocVcMask_[std::size_t(node) * outPorts_ + port] &=
+        ~(std::uint32_t(1) << vc);
+    switchCandVcMask_[std::size_t(node) * outPorts_ + port] &=
+        ~(std::uint32_t(1) << vc);
     if (--allocPerPort_[std::size_t(node) * outPorts_ + port] == 0)
         allocOutMask_[node] &= ~(PortMask(1) << port);
     if (--allocPerNode_[node] == 0)
@@ -222,13 +273,46 @@ Network::releaseOutputVc(NodeId node, PortId port, VcId vc)
 void
 Network::releaseInputVc(NodeId node, PortId port, VcId vc)
 {
-    routers_[node].inputVc(port, vc).release();
+    InputVc &ivc = routers_[node].inputVc(port, vc);
+    const bool mid_injection =
+        port >= netPorts_ && ivc.msg != kInvalidMsg && !ivc.injDone;
+    ivc.release();
     syncRoutable(node, port, vc);
     if (port >= netPorts_) {
         --injVcBusy_[node];
+        if (mid_injection)
+            --injIncomplete_[node];
         syncInjActive(node);
+    } else {
+        // The lane upstream of this VC can host a new worm again.
+        const LinkEnd &up = routers_[node].upstream(port);
+        if (up.valid())
+            downFreeVcMask_[std::size_t(up.node) * outPorts_ +
+                            up.port] |= std::uint32_t(1) << vc;
     }
     detector_.onInputVcFreed(node, port, vc);
+}
+
+void
+Network::replayCredits()
+{
+    for (const auto &cr : creditReturns_) {
+        OutputVc &o = routers_[cr.node].outputVc(cr.port, cr.vc);
+        ++o.credits;
+        WORMNET_ASSERT(o.credits <= routerParams_.bufDepth);
+        if (o.credits == 1 && o.allocated) {
+            // An allocated output VC always has a live routed source
+            // worm; it only becomes a switch candidate again if that
+            // worm has a flit buffered and is not being recovered.
+            const InputVc &src =
+                routers_[cr.node].inputVc(o.srcPort, o.srcVc);
+            if (!src.recovering && !src.fifo.empty())
+                switchCandVcMask_[std::size_t(cr.node) * outPorts_ +
+                                  cr.port] |= std::uint32_t(1)
+                                              << cr.vc;
+        }
+    }
+    creditReturns_.clear();
 }
 
 void
@@ -282,14 +366,19 @@ void
 Network::setRoutingFunction(RoutingFunction &routing)
 {
     routing_ = &routing;
+    invalidateRouteCache();
+}
+
+void
+Network::invalidateRouteCache()
+{
+    std::fill(candMsg_.begin(), candMsg_.end(), kInvalidMsg);
 }
 
 void
 Network::resetBlockedHeads()
 {
-    nodeScratch_.clear();
-    routeActive_.appendTo(nodeScratch_);
-    for (const NodeId node : nodeScratch_) {
+    routeActive_.forEach([this](NodeId node) {
         Router &rt = routers_[node];
         for (PortId p = 0; p < inPorts_; ++p) {
             if (routablePerPort_[std::size_t(node) * inPorts_ + p] ==
@@ -307,7 +396,10 @@ Network::resetBlockedHeads()
                 vc.headBlockedSince = kNever;
             }
         }
-    }
+    });
+    // The cached candidate lists were computed under the old routing
+    // relation.
+    invalidateRouteCache();
     detector_.onRoutingChanged();
 }
 
@@ -363,25 +455,32 @@ Network::step()
 
     faultTick();
     generateAndInject();
-    routeAll();
-    switchAll();
-
-    // Credits freed by switch pops become visible next cycle.
-    for (const auto &cr : creditReturns_) {
-        OutputVc &o = routers_[cr.node].outputVc(cr.port, cr.vc);
-        ++o.credits;
-        WORMNET_ASSERT(o.credits <= routerParams_.bufDepth);
+    if (phaseTimers_) {
+        using clock = std::chrono::steady_clock;
+        const auto t0 = clock::now();
+        routeAll();
+        const auto t1 = clock::now();
+        switchAll();
+        const auto t2 = clock::now();
+        vaNanos_ += std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(t1 - t0)
+                        .count();
+        saNanos_ += std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(t2 - t1)
+                        .count();
+    } else {
+        routeAll();
+        switchAll();
     }
-    creditReturns_.clear();
+
+    // Credits freed by switch pops become visible next cycle. A VC
+    // coming off zero credits is a switch candidate again, provided
+    // its source worm still has a flit buffered to send.
+    replayCredits();
 
     if (recovery_) {
         recovery_->tick();
-        for (const auto &cr : creditReturns_) {
-            OutputVc &o = routers_[cr.node].outputVc(cr.port, cr.vc);
-            ++o.credits;
-            WORMNET_ASSERT(o.credits <= routerParams_.bufDepth);
-        }
-        creditReturns_.clear();
+        replayCredits();
     }
 
     // Kills queued by the routing phase (heads with every live
@@ -394,6 +493,8 @@ Network::step()
 
     if (checkActiveSets_)
         verifyActiveSets();
+    if (checkSoa_)
+        verifySoaState();
 
     ++now_;
 }
@@ -558,6 +659,13 @@ Network::generateAndInject()
 void
 Network::tryStartInjection(NodeId node)
 {
+    // Saturated steady state: every injection VC holds a fully
+    // injected (blocked) worm and the source queue backs up. Nothing
+    // below can have any effect — no refills, no stall reports (all
+    // injDone), no free VC for a new worm — so skip the port scans.
+    if (injVcBusy_[node] == injSlots_ && injIncomplete_[node] == 0)
+        return;
+
     Router &rt = routers_[node];
     const unsigned vcs = routerParams_.vcs;
 
@@ -565,23 +673,34 @@ Network::tryStartInjection(NodeId node)
         const PortId port =
             static_cast<PortId>(routerParams_.netPorts + pi);
 
-        // Refill in-progress worms first (1 flit/cycle/port).
+        // Refill in-progress worms first (1 flit/cycle/port). The
+        // injDone flag mirrors flitsInjected >= length so the common
+        // fully-injected-but-blocked worm is skipped without loading
+        // its Message record.
         VcId pushed_vc = kInvalidVc;
-        for (unsigned k = 0; k < vcs && pushed_vc == kInvalidVc;
+        for (unsigned k = 0;
+             injIncomplete_[node] != 0 && k < vcs &&
+             pushed_vc == kInvalidVc;
              ++k) {
-            const VcId v =
-                static_cast<VcId>((rt.injRoundRobin[pi] + k) % vcs);
+            unsigned vi = rt.injRoundRobin[pi] + k;
+            if (vi >= vcs)
+                vi -= vcs;
+            const VcId v = static_cast<VcId>(vi);
             InputVc &vc = rt.inputVc(port, v);
-            if (vc.free())
+            if (vc.free() || vc.injDone || vc.fifo.full())
                 continue;
             Message &m = messages_.get(vc.msg);
-            if (m.flitsInjected == 0 ||
-                m.flitsInjected >= m.length || vc.fifo.full())
+            if (m.flitsInjected == 0)
                 continue;
-            vc.fifo.push(Flit{m.id,
-                              flitTypeAt(m.flitsInjected, m.length),
-                              now_ + 1});
+            enqueueFlit(rt, port, v,
+                        Flit{m.id,
+                             flitTypeAt(m.flitsInjected, m.length),
+                             now_ + 1});
             ++m.flitsInjected;
+            if (m.flitsInjected >= m.length) {
+                vc.injDone = true;
+                --injIncomplete_[node];
+            }
             m.lastInjectCycle = now_;
             rt.injRoundRobin[pi] = (v + 1) % vcs;
             pushed_vc = v;
@@ -590,28 +709,33 @@ Network::tryStartInjection(NodeId node)
         // Source-side stall observation for the timeout mechanisms
         // of Reeves et al. and compressionless routing: any
         // incompletely injected worm that did not push a flit this
-        // cycle is reported to the detector.
-        for (VcId v = 0; v < vcs; ++v) {
-            if (v == pushed_vc)
-                continue;
-            const InputVc &vc = rt.inputVc(port, v);
-            if (vc.free() || vc.recovering)
-                continue;
-            const Message &m = messages_.get(vc.msg);
-            if (m.status != MsgStatus::Active ||
-                m.flitsInjected == 0 ||
-                m.flitsInjected >= m.length)
-                continue;
-            const bool verdict = detector_.onInjectionStalled(
-                node, port, v, m.id, now_ - m.injectStartCycle,
-                now_ - m.lastInjectCycle, now_);
-            if (verdict)
-                handleDetection(m.id);
+        // cycle is reported to the detector. Router-centric
+        // detectors never look at these, so the scan is skipped.
+        if (detectorWantsInjStall_) {
+            for (VcId v = 0; v < vcs; ++v) {
+                if (v == pushed_vc)
+                    continue;
+                const InputVc &vc = rt.inputVc(port, v);
+                if (vc.free() || vc.recovering || vc.injDone)
+                    continue;
+                const Message &m = messages_.get(vc.msg);
+                if (m.status != MsgStatus::Active ||
+                    m.flitsInjected == 0)
+                    continue;
+                const bool verdict = detector_.onInjectionStalled(
+                    node, port, v, m.id, now_ - m.injectStartCycle,
+                    now_ - m.lastInjectCycle, now_);
+                if (verdict)
+                    handleDetection(m.id);
+            }
         }
         if (pushed_vc != kInvalidVc)
             continue;
 
-        // Otherwise try to start a new message on this port.
+        // Otherwise try to start a new message on this port. With
+        // every injection VC busy there can be no free VC below.
+        if (injVcBusy_[node] == injSlots_)
+            continue;
         if (sourceQueues_[node].empty())
             continue;
         if (params_.injectionLimit && !injectionAllowed(node))
@@ -636,6 +760,9 @@ Network::tryStartInjection(NodeId node)
         m.flitsInjected = 1;
         enqueueFlit(rt, port, free_vc,
                     Flit{id, flitTypeAt(0, m.length), now_ + 1});
+        rt.inputVc(port, free_vc).injDone = m.length <= 1;
+        if (m.length > 1)
+            ++injIncomplete_[node];
         ++inFlight_;
         ++stats_.injected;
         if (measuring_)
@@ -647,25 +774,31 @@ Network::tryStartInjection(NodeId node)
 void
 Network::routeAll()
 {
-    // Snapshot the active nodes: routing can only shrink the set
-    // (grants and recovery verdicts), and a shrunken entry's
-    // routeOne is a no-op, exactly as in the exhaustive scan.
-    nodeScratch_.clear();
-    routeActive_.appendTo(nodeScratch_);
-    for (const NodeId node : nodeScratch_) {
+    // Word-at-a-time walk of the active nodes: routing can only
+    // shrink the set (grants and recovery verdicts), and a shrunken
+    // entry's routeOne is a no-op, exactly as in the exhaustive scan.
+    routeActive_.forEach([this](NodeId node) {
         Router &rt = routers_[node];
         const PortMask fault_mask = deadOutMask(node);
         const unsigned offset = (now_ + node) % inPorts_;
         for (unsigned i = 0; i < inPorts_; ++i) {
-            const PortId port =
-                static_cast<PortId>((offset + i) % inPorts_);
-            if (routablePerPort_[std::size_t(node) * inPorts_ +
-                                 port] == 0)
-                continue;
-            for (VcId v = 0; v < vcs_; ++v)
-                routeOne(rt, port, v, fault_mask);
+            unsigned port = offset + i;
+            if (port >= inPorts_)
+                port -= inPorts_;
+            // Snapshot: a grant clears only the granted VC's bit
+            // (already visited), and concurrent recovery marks are
+            // re-checked inside routeOne.
+            std::uint32_t vcm =
+                routableVcMask_[std::size_t(node) * inPorts_ + port];
+            while (vcm) {
+                const VcId v =
+                    static_cast<VcId>(__builtin_ctz(vcm));
+                vcm &= vcm - 1;
+                routeOne(rt, static_cast<PortId>(port), v,
+                         fault_mask);
+            }
         }
-    }
+    });
 }
 
 bool
@@ -692,28 +825,75 @@ Network::routeOne(Router &rt, PortId port, VcId v,
     if (head.readyAt > now_ || !isHeadFlit(head.type))
         return;
 
-    const Message &m = messages_.get(vc.msg);
-    routing_->route(rt.nodeId(), m.dst, port, v, candScratch_);
+    const NodeId node = rt.nodeId();
+
+    // The routing function is pure in (node, dst, in_port, in_vc),
+    // so a blocked head re-presents identical candidates every cycle:
+    // serve them from the per-VC cache and only call route() when the
+    // occupant changed (or the relation did — bulk invalidation).
+    const std::size_t flat =
+        (std::size_t(node) * inPorts_ + port) * vcs_ + v;
+    const std::uint16_t *cports;
+    const std::uint32_t *cmasks;
+    unsigned ncand;
+    if (candMsg_[flat] == vc.msg) {
+        cports = &candPort_[flat * outPorts_];
+        cmasks = &candMask_[flat * outPorts_];
+        ncand = candCount_[flat];
+    } else {
+        routing_->route(node, vc.dst, port, v, candScratch_);
+        ncand = static_cast<unsigned>(candScratch_.size());
+        if (ncand <= outPorts_) {
+            std::uint16_t *cp = &candPort_[flat * outPorts_];
+            std::uint32_t *cm = &candMask_[flat * outPorts_];
+            for (unsigned i = 0; i < ncand; ++i) {
+                cp[i] = candScratch_[i].port;
+                cm[i] = candScratch_[i].vcMask;
+            }
+            candCount_[flat] = static_cast<std::uint8_t>(ncand);
+            candMsg_[flat] = vc.msg;
+            cports = cp;
+            cmasks = cm;
+        } else {
+            // Wider than the cache line for this VC: spill, marked
+            // uncacheable so the next attempt re-routes.
+            candPortOv_.clear();
+            candMaskOv_.clear();
+            for (const auto &cand : candScratch_) {
+                candPortOv_.push_back(cand.port);
+                candMaskOv_.push_back(cand.vcMask);
+            }
+            candMsg_[flat] = kInvalidMsg;
+            cports = candPortOv_.data();
+            cmasks = candMaskOv_.data();
+        }
+    }
 
     freeScratch_.clear();
     PortMask feasible = 0;
-    for (const auto &cand : candScratch_) {
-        if ((fault_mask >> cand.port) & 1u)
+    const std::uint32_t *alloc =
+        &outAllocVcMask_[std::size_t(node) * outPorts_];
+    const std::uint32_t *dfree =
+        &downFreeVcMask_[std::size_t(node) * outPorts_];
+    for (unsigned i = 0; i < ncand; ++i) {
+        const PortId q = static_cast<PortId>(cports[i]);
+        if ((fault_mask >> q) & 1u)
             continue; // dead link: not a feasible channel
-        feasible |= PortMask(1) << cand.port;
-        std::uint32_t mask = cand.vcMask;
+        feasible |= PortMask(1) << q;
+        // A VC is takeable when not allocated here and free-and-empty
+        // downstream — the same test the per-VC scan made, one load
+        // per physical channel instead of three pointer chases per
+        // lane, visited in the identical ascending-VC order.
+        std::uint32_t mask = cmasks[i] & ~alloc[q] & dfree[q];
         while (mask) {
             const VcId v2 =
                 static_cast<VcId>(__builtin_ctz(mask));
             mask &= mask - 1;
-            const OutputVc &out = rt.outputVc(cand.port, v2);
-            if (!out.allocated &&
-                downstreamVcFree(rt, cand.port, v2))
-                freeScratch_.push_back(PortVc{cand.port, v2});
+            freeScratch_.push_back(PortVc{q, v2});
         }
     }
 
-    if (feasible == 0 && !candScratch_.empty()) {
+    if (feasible == 0 && ncand != 0) {
         // Every channel the routing function offers is faulted: the
         // head can never advance, and judging dead channels would be
         // a guaranteed false deadlock. Hand the worm to the fault
@@ -729,8 +909,7 @@ Network::routeOne(Router &rt, PortId port, VcId v,
                 : freeScratch_.front();
         WORMNET_ASSERT(rt.outputVc(pick.port, pick.vc).credits ==
                   routerParams_.bufDepth);
-        allocOutputVc(rt.nodeId(), pick.port, pick.vc, vc.msg, port,
-                      v);
+        allocOutputVc(node, pick.port, pick.vc, vc.msg, port, v);
         vc.routed = true;
         vc.outPort = pick.port;
         vc.outVc = pick.vc;
@@ -738,11 +917,10 @@ Network::routeOne(Router &rt, PortId port, VcId v,
         vc.attempted = false;
         vc.lastFeasible = 0;
         vc.headBlockedSince = kNever;
-        syncRoutable(rt.nodeId(), port, v);
-        detector_.onMessageRouted(rt.nodeId(), port, v, vc.msg,
-                                  pick.port, pick.vc);
-        trace(TraceEvent::Routed, vc.msg, rt.nodeId(), pick.port,
-              pick.vc);
+        syncRoutable(node, port, v);
+        detector_.onMessageRouted(node, port, v, vc.msg, pick.port,
+                                  pick.vc);
+        trace(TraceEvent::Routed, vc.msg, node, pick.port, pick.vc);
         return;
     }
 
@@ -750,24 +928,24 @@ Network::routeOne(Router &rt, PortId port, VcId v,
     if (first) {
         vc.attempted = true;
         vc.headBlockedSince = now_;
-        trace(TraceEvent::Blocked, vc.msg, rt.nodeId(), port, v);
+        trace(TraceEvent::Blocked, vc.msg, node, port, v);
     }
     vc.lastFeasible = feasible;
     if (detectorWantsCandidates_) {
         blockedCandScratch_.clear();
-        for (const auto &cand : candScratch_) {
-            if ((fault_mask >> cand.port) & 1u)
+        for (unsigned i = 0; i < ncand; ++i) {
+            if ((fault_mask >> cports[i]) & 1u)
                 continue;
-            blockedCandScratch_.push_back(
-                BlockedCandidate{cand.port, cand.vcMask});
+            blockedCandScratch_.push_back(BlockedCandidate{
+                static_cast<PortId>(cports[i]), cmasks[i]});
         }
         detector_.onBlockedCandidates(
-            rt.nodeId(), port, v, vc.msg, blockedCandScratch_.data(),
+            node, port, v, vc.msg, blockedCandScratch_.data(),
             blockedCandScratch_.size(), now_);
     }
     const bool verdict = detector_.onRoutingFailed(
-        rt.nodeId(), port, v, vc.msg, feasible,
-        rt.inputPcFullyBusy(port), first, now_);
+        node, port, v, vc.msg, feasible, rt.inputPcFullyBusy(port),
+        first, now_);
     if (verdict)
         handleDetection(vc.msg);
 }
@@ -791,10 +969,11 @@ Network::handleDetection(MsgId msg)
             ++stats_.wFalseDetections;
     }
     ++m.timesDetected;
-    const auto seen = deadlockFirstSeen_.find(msg);
-    if (seen != deadlockFirstSeen_.end())
-        stats_.detectionLatency.add(
-            static_cast<double>(now_ - seen->second));
+    const Cycle seen = msg < deadlockFirstSeen_.size()
+                           ? deadlockFirstSeen_[msg]
+                           : kNever;
+    if (seen != kNever)
+        stats_.detectionLatency.add(static_cast<double>(now_ - seen));
     trace(TraceEvent::Detected, msg,
           m.numLinks() > 0 ? m.headLink().node : kInvalidNode);
     if (recovery_)
@@ -804,13 +983,11 @@ Network::handleDetection(MsgId msg)
 void
 Network::switchAll()
 {
-    // Snapshot: transfers can release output VCs (tail flits) but
-    // never allocate, so the set only shrinks while iterating — and
-    // a port whose last VC was just released yields no winner, same
-    // as the exhaustive scan.
-    nodeScratch_.clear();
-    switchActive_.appendTo(nodeScratch_);
-    for (const NodeId node : nodeScratch_) {
+    // Transfers can release output VCs (tail flits) but never
+    // allocate, so the set only shrinks while iterating — and a port
+    // whose last VC was just released yields no winner, same as the
+    // exhaustive scan.
+    switchActive_.forEach([this](NodeId node) {
         Router &rt = routers_[node];
         const PortMask fault_mask = deadOutMask(node);
         // Ports without an allocated VC have no switch candidates;
@@ -821,55 +998,90 @@ Network::switchAll()
             const PortId q = static_cast<PortId>(
                 __builtin_ctz(ports));
             ports &= ports - 1;
-            // Each allocated output VC names its owning input VC, so
-            // the arbiter only has to look at vcs candidates.
+            // The candidate mask holds exactly the allocated VCs
+            // with credit headroom whose source worm has a buffered
+            // flit and is not recovering; only the cycle-local
+            // conditions (flit in transit, routed this very cycle)
+            // are re-checked per candidate. Splitting the mask at
+            // the round-robin pointer preserves the (rr + k) % vcs
+            // probe order of the exhaustive scan.
+            const std::uint32_t cand =
+                switchCandVcMask_[std::size_t(node) * outPorts_ + q];
+            if (cand == 0)
+                continue;
+            const unsigned rr = rt.saRoundRobin[q];
             int winner = -1;
-            for (unsigned k = 0; k < vcs_; ++k) {
-                const unsigned v2 = (rt.saRoundRobin[q] + k) % vcs_;
-                const OutputVc &out =
-                    rt.outputVc(q, static_cast<VcId>(v2));
-                if (!out.allocated)
-                    continue;
-                if (!rt.isEjectionPort(q) && out.credits == 0)
-                    continue;
-                const InputVc &vc =
-                    rt.inputVc(out.srcPort, out.srcVc);
-                WORMNET_ASSERT(vc.routed && vc.outPort == q);
-                if (vc.recovering || vc.fifo.empty())
-                    continue;
-                if (vc.allocCycle >= now_)
-                    continue; // routed this very cycle
-                const Flit &f = vc.fifo.front();
-                if (f.readyAt > now_)
-                    continue;
-                WORMNET_ASSERT(f.msg == out.msg);
-                winner = static_cast<int>(v2);
-                break;
+            OutputVc *wout = nullptr;
+            InputVc *wvc = nullptr;
+            std::uint32_t part =
+                cand & ~((std::uint32_t(1) << rr) - 1);
+            for (int half = 0; half < 2 && winner < 0; ++half) {
+                while (part) {
+                    const unsigned v2 = static_cast<unsigned>(
+                        __builtin_ctz(part));
+                    part &= part - 1;
+                    OutputVc &out =
+                        rt.outputVc(q, static_cast<VcId>(v2));
+                    InputVc &vc =
+                        rt.inputVc(out.srcPort, out.srcVc);
+                    WORMNET_ASSERT(vc.routed && vc.outPort == q);
+                    WORMNET_ASSERT(!vc.recovering &&
+                                   !vc.fifo.empty());
+                    if (vc.allocCycle >= now_)
+                        continue; // routed this very cycle
+                    const Flit &f = vc.fifo.front();
+                    if (f.readyAt > now_)
+                        continue;
+                    WORMNET_ASSERT(f.msg == out.msg);
+                    winner = static_cast<int>(v2);
+                    wout = &out;
+                    wvc = &vc;
+                    break;
+                }
+                part = cand & ((std::uint32_t(1) << rr) - 1);
             }
             if (winner < 0)
                 continue;
-            const OutputVc &out =
-                rt.outputVc(q, static_cast<VcId>(winner));
-            transferFlit(rt, q, out.srcPort, out.srcVc);
+            transferFlit(rt, q, static_cast<VcId>(winner), *wout,
+                         *wvc);
             rt.saRoundRobin[q] = (winner + 1) % vcs_;
             if (txMask_[node] == 0)
                 txNodes_.push_back(node);
             txMask_[node] |= PortMask(1) << q;
             detActive_.insert(node);
         }
-    }
+    });
 }
 
 void
-Network::transferFlit(Router &rt, PortId out_port, PortId in_port,
-                      VcId in_vc)
+Network::transferFlit(Router &rt, PortId out_port, VcId out_vc,
+                      OutputVc &out, InputVc &vc)
 {
-    InputVc &vc = rt.inputVc(in_port, in_vc);
-    const VcId out_vc = vc.outVc;
-    OutputVc &out = rt.outputVc(out_port, out_vc);
+    const PortId in_port = out.srcPort;
+    const VcId in_vc = out.srcVc;
+    WORMNET_ASSERT(&vc == &rt.inputVc(in_port, in_vc) &&
+                   &out == &rt.outputVc(out_port, out_vc));
 
-    WORMNET_ASSERT(!portFaulty(rt.nodeId(), out_port));
-    const Flit f = popFlit(rt, in_port, in_vc);
+    // Re-deriving the dead mask per transfer is a double fault-model
+    // lookup — full-level only; switchAll already filtered the port.
+    WORMNET_INVARIANT(!portFaulty(rt.nodeId(), out_port));
+
+    // Inlined popFlit(): the caller already resolved the input VC.
+    const Flit f = vc.fifo.pop();
+    const LinkEnd &up = rt.upstream(in_port);
+    if (up.valid())
+        creditReturns_.push_back(
+            CreditReturn{up.node, up.port, in_vc});
+    if (isTailFlit(f.type)) {
+        Message &m = messages_.get(f.msg);
+        WORMNET_ASSERT(m.numLinks() > 0);
+        WORMNET_INVARIANT(m.link(0).node == rt.nodeId() &&
+                          m.link(0).port == in_port &&
+                          m.link(0).vc == in_vc);
+        m.popFrontLink();
+        releaseInputVc(rt.nodeId(), in_port, in_vc);
+    }
+    ++flitHops_;
     rt.noteTx(out_port, now_);
     ++txCount_[std::size_t(rt.nodeId()) *
                    routerParams_.numOutPorts() +
@@ -884,12 +1096,21 @@ Network::transferFlit(Router &rt, PortId out_port, PortId in_port,
         if (isTailFlit(f.type)) {
             releaseOutputVc(rt.nodeId(), out_port, out_vc);
             markDelivered(f.msg, false);
+        } else if (vc.fifo.empty()) {
+            // Worm stretched thin: nothing buffered to eject until
+            // the next flit arrives from upstream.
+            switchCandVcMask_[std::size_t(rt.nodeId()) * outPorts_ +
+                              out_port] &=
+                ~(std::uint32_t(1) << out_vc);
         }
         return;
     }
 
     WORMNET_ASSERT(out.credits > 0);
-    --out.credits;
+    if (--out.credits == 0 ||
+        (!isTailFlit(f.type) && vc.fifo.empty()))
+        switchCandVcMask_[std::size_t(rt.nodeId()) * outPorts_ +
+                          out_port] &= ~(std::uint32_t(1) << out_vc);
     const LinkEnd &down = rt.downstream(out_port);
     WORMNET_ASSERT(down.valid());
     enqueueFlit(routers_[down.node], down.port, out_vc,
@@ -911,9 +1132,11 @@ Network::popFlit(Router &rt, PortId port, VcId v)
     if (isTailFlit(f.type)) {
         Message &m = messages_.get(f.msg);
         WORMNET_ASSERT(m.numLinks() > 0);
-        const PathLink &oldest = m.link(0);
-        WORMNET_ASSERT(oldest.node == rt.nodeId() &&
-                  oldest.port == port && oldest.vc == v);
+        // Redundant recomputation of the tail position — full-level
+        // only, it costs a path-slab pointer chase per tail flit.
+        WORMNET_INVARIANT(m.link(0).node == rt.nodeId() &&
+                          m.link(0).port == port &&
+                          m.link(0).vc == v);
         m.popFrontLink();
         releaseInputVc(rt.nodeId(), port, v);
     }
@@ -927,17 +1150,36 @@ Network::enqueueFlit(Router &rt, PortId port, VcId v,
     InputVc &vc = rt.inputVc(port, v);
     if (isHeadFlit(flit.type)) {
         WORMNET_ASSERT(vc.free() && vc.fifo.empty());
+        Message &m = messages_.get(flit.msg);
         vc.msg = flit.msg;
-        messages_.get(flit.msg).pushLink(rt.nodeId(), port, v);
+        vc.dst = m.dst; // cached for the routing phase
+        m.pushLink(rt.nodeId(), port, v);
         syncRoutable(rt.nodeId(), port, v);
         detector_.onChannelOccupied(rt.nodeId(), port, v, flit.msg);
         if (port >= netPorts_) {
             ++injVcBusy_[rt.nodeId()];
             injActive_.insert(rt.nodeId());
+        } else {
+            const LinkEnd &up = rt.upstream(port);
+            if (up.valid())
+                downFreeVcMask_[std::size_t(up.node) * outPorts_ +
+                                up.port] &=
+                    ~(std::uint32_t(1) << v);
         }
     }
     WORMNET_ASSERT(vc.msg == flit.msg);
+    const bool was_empty = vc.fifo.empty();
     vc.fifo.push(flit);
+    // A body flit reaching a routed-but-starved worm re-arms its
+    // granted output VC as a switch candidate (heads are never
+    // routed yet, and recovering worms re-qualify on release).
+    if (was_empty && vc.routed && !vc.recovering) {
+        const OutputVc &out = rt.outputVc(vc.outPort, vc.outVc);
+        if (rt.isEjectionPort(vc.outPort) || out.credits > 0)
+            switchCandVcMask_[std::size_t(rt.nodeId()) * outPorts_ +
+                              vc.outPort] |=
+                std::uint32_t(1) << vc.outVc;
+    }
 }
 
 void
@@ -1035,6 +1277,12 @@ Network::setHeadRecovering(MsgId msg)
     WORMNET_ASSERT(vc.msg == msg);
     vc.recovering = true;
     syncRoutable(head.node, head.port, head.vc);
+    // A routed head leaving for the recovery path stops competing
+    // for the switch; its output VC frees when the worm releases.
+    if (vc.routed)
+        switchCandVcMask_[std::size_t(head.node) * outPorts_ +
+                          vc.outPort] &=
+            ~(std::uint32_t(1) << vc.outVc);
     detector_.onHeadRecovering(head.node, head.port, head.vc);
 }
 
@@ -1117,16 +1365,17 @@ Network::runDetectorCycleEnd()
     // allocated output VCs receives an idempotent (0, 0) call, so
     // only active nodes need visiting. Each node gets one trailing
     // call after going fully idle so per-channel state sees the
-    // transition before the node leaves the set.
-    nodeScratch_.clear();
-    detActive_.appendTo(nodeScratch_);
-    for (const NodeId node : nodeScratch_) {
+    // transition before the node leaves the set. (Erasing while
+    // walking is safe: the word being scanned was copied, and a
+    // node erased from a later word would only have received
+    // another idempotent idle call.)
+    detActive_.forEach([this](NodeId node) {
         const PortMask occupied =
             allocOutMask_[node] & ~detectorDeadMask_[node];
         detector_.onCycleEnd(node, txMask_[node], occupied, now_);
         if (txMask_[node] == 0 && allocOutMask_[node] == 0)
             detActive_.erase(node);
-    }
+    });
 }
 
 double
@@ -1171,21 +1420,26 @@ Network::oracleTick()
     const auto &deadlocked = deadlockedNow();
     stats_.currentlyDeadlocked = deadlocked.size();
 
-    // Persistence tracking: how long do true deadlocks last?
-    std::unordered_map<MsgId, Cycle> next;
-    next.reserve(deadlocked.size());
+    // Persistence tracking: how long do true deadlocks last? Entries
+    // whose message is no longer deadlocked expire; survivors keep
+    // their first-seen cycle.
+    deadlockFirstSeen_.resize(messages_.size(), kNever);
+    for (const MsgId id : deadlockTracked_) {
+        if (!std::binary_search(deadlocked.begin(), deadlocked.end(),
+                                id))
+            deadlockFirstSeen_[id] = kNever;
+    }
     for (const MsgId id : deadlocked) {
-        Cycle first = now_;
-        const auto it = deadlockFirstSeen_.find(id);
-        if (it != deadlockFirstSeen_.end())
-            first = it->second;
-        else
+        Cycle first = deadlockFirstSeen_[id];
+        if (first == kNever) {
+            first = now_;
+            deadlockFirstSeen_[id] = now_;
             ++stats_.trueDeadlockedMessages;
-        next.emplace(id, first);
+        }
         stats_.maxDeadlockPersistence =
             std::max(stats_.maxDeadlockPersistence, now_ - first);
     }
-    deadlockFirstSeen_ = std::move(next);
+    deadlockTracked_ = deadlocked;
 }
 
 // The cross-check must fire whenever the runtime flag is on — even
@@ -1275,6 +1529,100 @@ Network::verifyActiveSets() const
 }
 
 void
+Network::verifySoaState() const
+{
+    // Brute-force recomputation of everything the SoA layout derives
+    // incrementally: the per-port VC bitmasks routeOne consumes, the
+    // per-VC dst/injDone caches, and the route-candidate cache. The
+    // full contract level enables it by default; WORMNET_CHECK_SOA=1
+    // forces it on any build. Runs at the end of step(), like
+    // verifyActiveSets().
+    std::vector<RouteCandidate> fresh;
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        const Router &rt = routers_[node];
+
+        // Routers must still be views over the global store.
+        ACTIVE_SET_CHECK(rt.inputVcs() == vcStore_.inBase(node));
+        ACTIVE_SET_CHECK(rt.outputVcs() == vcStore_.outBase(node));
+
+        for (PortId q = 0; q < outPorts_; ++q) {
+            std::uint32_t alloc = 0;
+            std::uint32_t dfree = 0;
+            std::uint32_t scand = 0;
+            for (VcId v = 0; v < vcs_; ++v) {
+                const OutputVc &ovc = rt.outputVc(q, v);
+                if (ovc.allocated)
+                    alloc |= std::uint32_t(1) << v;
+                if (downstreamVcFree(rt, q, v))
+                    dfree |= std::uint32_t(1) << v;
+                if (ovc.allocated &&
+                    (rt.isEjectionPort(q) || ovc.credits > 0)) {
+                    const InputVc &src =
+                        rt.inputVc(ovc.srcPort, ovc.srcVc);
+                    if (!src.recovering && !src.fifo.empty())
+                        scand |= std::uint32_t(1) << v;
+                }
+            }
+            const std::size_t idx =
+                std::size_t(node) * outPorts_ + q;
+            ACTIVE_SET_CHECK(outAllocVcMask_[idx] == alloc);
+            ACTIVE_SET_CHECK(downFreeVcMask_[idx] == dfree);
+            ACTIVE_SET_CHECK(switchCandVcMask_[idx] == scand);
+        }
+
+        unsigned busy = 0;
+        unsigned incomplete = 0;
+        for (PortId p = 0; p < inPorts_; ++p) {
+            std::uint32_t routable = 0;
+            for (VcId v = 0; v < vcs_; ++v) {
+                const InputVc &vc = rt.inputVc(p, v);
+                const std::size_t flat =
+                    (std::size_t(node) * inPorts_ + p) * vcs_ + v;
+                if (vc.inRouteSet)
+                    routable |= std::uint32_t(1) << v;
+                if (vc.msg != kInvalidMsg) {
+                    const Message &m = messages_.get(vc.msg);
+                    ACTIVE_SET_CHECK(vc.dst == m.dst);
+                    if (p >= netPorts_) {
+                        ++busy;
+                        ACTIVE_SET_CHECK(vc.injDone ==
+                                         (m.flitsInjected >=
+                                          m.length));
+                        if (!vc.injDone)
+                            ++incomplete;
+                    }
+                } else {
+                    ACTIVE_SET_CHECK(vc.dst == kInvalidNode);
+                    ACTIVE_SET_CHECK(!vc.injDone);
+                }
+                // A cache entry must reproduce a fresh route() call
+                // for its occupant (ids are never recycled, so the
+                // cached msg pins the dst even after delivery).
+                if (candMsg_[flat] == kInvalidMsg)
+                    continue;
+                const Message &cm = messages_.get(candMsg_[flat]);
+                routing_->route(node, cm.dst, p, v, fresh);
+                ACTIVE_SET_CHECK(fresh.size() <= outPorts_);
+                ACTIVE_SET_CHECK(candCount_[flat] == fresh.size());
+                for (std::size_t i = 0; i < fresh.size(); ++i) {
+                    ACTIVE_SET_CHECK(
+                        candPort_[flat * outPorts_ + i] ==
+                        fresh[i].port);
+                    ACTIVE_SET_CHECK(
+                        candMask_[flat * outPorts_ + i] ==
+                        fresh[i].vcMask);
+                }
+            }
+            ACTIVE_SET_CHECK(
+                routableVcMask_[std::size_t(node) * inPorts_ + p] ==
+                routable);
+        }
+        ACTIVE_SET_CHECK(injVcBusy_[node] == busy);
+        ACTIVE_SET_CHECK(injIncomplete_[node] == incomplete);
+    }
+}
+
+void
 Network::saveState(Serializer &s) const
 {
     // Captured at a step() boundary: per-cycle scratch (txMask_,
@@ -1313,14 +1661,12 @@ Network::saveState(Serializer &s) const
     detActive_.saveState(s);
     s.u64(inFlight_);
     {
-        // Deterministic order for the hash map.
-        std::vector<std::pair<MsgId, Cycle>> seen(
-            deadlockFirstSeen_.begin(), deadlockFirstSeen_.end());
-        std::sort(seen.begin(), seen.end());
-        s.u32(static_cast<std::uint32_t>(seen.size()));
-        for (const auto &[id, cycle] : seen) {
+        // deadlockTracked_ is sorted, so the pair dump is the same
+        // deterministic layout the predecessor hash map produced.
+        s.u32(static_cast<std::uint32_t>(deadlockTracked_.size()));
+        for (const MsgId id : deadlockTracked_) {
             s.u32(id);
-            s.u64(cycle);
+            s.u64(deadlockFirstSeen_[id]);
         }
     }
     s.boolean(faults_ != nullptr);
@@ -1368,14 +1714,17 @@ Network::loadState(Deserializer &d)
     stats_.loadState(d);
     detActive_.loadState(d);
     inFlight_ = d.u64();
-    deadlockFirstSeen_.clear();
+    deadlockFirstSeen_.assign(messages_.size(), kNever);
+    deadlockTracked_.clear();
     {
         const std::uint32_t count = d.u32();
-        deadlockFirstSeen_.reserve(count);
+        deadlockTracked_.reserve(count);
         for (std::uint32_t i = 0; i < count; ++i) {
             const MsgId id = d.u32();
             const Cycle cycle = d.u64();
-            deadlockFirstSeen_.emplace(id, cycle);
+            WORMNET_ASSERT(id < deadlockFirstSeen_.size());
+            deadlockFirstSeen_[id] = cycle;
+            deadlockTracked_.push_back(id);
         }
     }
     if (d.boolean()) {
@@ -1417,6 +1766,11 @@ Network::loadState(Deserializer &d)
     std::fill(netAllocPerNode_.begin(), netAllocPerNode_.end(), 0);
     injActive_.init(n);
     std::fill(injVcBusy_.begin(), injVcBusy_.end(), 0);
+    std::fill(outAllocVcMask_.begin(), outAllocVcMask_.end(), 0);
+    std::fill(routableVcMask_.begin(), routableVcMask_.end(), 0);
+    std::fill(switchCandVcMask_.begin(), switchCandVcMask_.end(), 0);
+    std::fill(injIncomplete_.begin(), injIncomplete_.end(), 0);
+    const std::uint32_t all_vcs = (std::uint32_t(1) << vcs_) - 1;
     for (NodeId node = 0; node < n; ++node) {
         Router &rt = routers_[node];
         for (PortId p = 0; p < inPorts_; ++p) {
@@ -1428,17 +1782,54 @@ Network::loadState(Deserializer &d)
                     vc.inRouteSet = true;
                     ++routablePerPort_[std::size_t(node) * inPorts_ +
                                        p];
+                    routableVcMask_[std::size_t(node) * inPorts_ +
+                                    p] |= std::uint32_t(1) << v;
                     if (routablePerNode_[node]++ == 0)
                         routeActive_.insert(node);
                 }
-                if (p >= netPorts_ && vc.msg != kInvalidMsg)
-                    ++injVcBusy_[node];
+                if (vc.msg != kInvalidMsg) {
+                    // Derived caches the wire format omits.
+                    const Message &m = messages_.get(vc.msg);
+                    vc.dst = m.dst;
+                    if (p >= netPorts_) {
+                        ++injVcBusy_[node];
+                        vc.injDone = m.flitsInjected >= m.length;
+                        if (!vc.injDone)
+                            ++injIncomplete_[node];
+                    }
+                }
             }
         }
         for (PortId q = 0; q < outPorts_; ++q) {
+            // A lane is downstream-free when its receiving input VC
+            // is unoccupied with an empty buffer (always for
+            // ejection, never for dangling mesh-edge ports).
+            std::uint32_t dfree = 0;
+            if (rt.isEjectionPort(q)) {
+                dfree = all_vcs;
+            } else if (rt.downstream(q).valid()) {
+                const LinkEnd &down = rt.downstream(q);
+                for (VcId v = 0; v < vcs_; ++v) {
+                    const InputVc &dvc =
+                        routers_[down.node].inputVc(down.port, v);
+                    if (dvc.free() && dvc.fifo.empty())
+                        dfree |= std::uint32_t(1) << v;
+                }
+            }
+            downFreeVcMask_[std::size_t(node) * outPorts_ + q] =
+                dfree;
             for (VcId v = 0; v < vcs_; ++v) {
-                if (!rt.outputVc(q, v).allocated)
+                const OutputVc &ovc = rt.outputVc(q, v);
+                if (!ovc.allocated)
                     continue;
+                outAllocVcMask_[std::size_t(node) * outPorts_ + q] |=
+                    std::uint32_t(1) << v;
+                const InputVc &src =
+                    rt.inputVc(ovc.srcPort, ovc.srcVc);
+                if ((rt.isEjectionPort(q) || ovc.credits > 0) &&
+                    !src.recovering && !src.fifo.empty())
+                    switchCandVcMask_[std::size_t(node) * outPorts_ +
+                                      q] |= std::uint32_t(1) << v;
                 if (allocPerPort_[std::size_t(node) * outPorts_ +
                                   q]++ == 0)
                     allocOutMask_[node] |= PortMask(1) << q;
@@ -1453,6 +1844,7 @@ Network::loadState(Deserializer &d)
         // ports at save time; only the derived mirror is rebuilt.
         detectorDeadMask_[node] = deadOutMask(node);
     }
+    invalidateRouteCache();
 
     // Per-cycle scratch and memoisation: clean slate.
     std::fill(txMask_.begin(), txMask_.end(), 0);

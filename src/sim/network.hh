@@ -31,7 +31,6 @@
 #include <deque>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hh"
@@ -39,6 +38,7 @@
 #include "detection/detector.hh"
 #include "router/message.hh"
 #include "router/router.hh"
+#include "router/vc_state.hh"
 #include "routing/routing.hh"
 #include "sim/activity.hh"
 #include "sim/metrics.hh"
@@ -140,7 +140,7 @@ class Network
     const RouterParams &routerParams() const { return routerParams_; }
     const RoutingFunction &routing() const { return *routing_; }
 
-    NodeId numNodes() const { return topo_.numNodes(); }
+    NodeId numNodes() const { return nNodes_; }
 
     Router &router(NodeId node) { return routers_[node]; }
     const Router &router(NodeId node) const { return routers_[node]; }
@@ -299,6 +299,27 @@ class Network
     bool downstreamVcFree(const Router &rt, PortId out_port,
                           VcId vc) const;
 
+    /** @name Phase timers (microbenchmark support).
+     *
+     * When enabled, step() accumulates wall-clock nanoseconds spent
+     * in the routing/VC-allocation phase (VA) and the switch
+     * allocation + flit transfer phase (SA), alongside a running
+     * count of flit-hops performed. Diagnostic state: never
+     * serialized, zero overhead beyond one branch when disabled.
+     */
+    /// @{
+    void enablePhaseTimers(bool on) { phaseTimers_ = on; }
+    void
+    resetPhaseTimers()
+    {
+        vaNanos_ = saNanos_ = 0;
+        flitHops_ = 0;
+    }
+    std::uint64_t vaNanos() const { return vaNanos_; }
+    std::uint64_t saNanos() const { return saNanos_; }
+    std::uint64_t flitHops() const { return flitHops_; }
+    /// @}
+
     /**
      * @name Checkpoint support.
      *
@@ -326,8 +347,11 @@ class Network
     void routeOne(Router &rt, PortId port, VcId vc,
                   PortMask fault_mask);
     void switchAll();
-    void transferFlit(Router &rt, PortId out_port, PortId in_port,
-                      VcId in_vc);
+    /** Move the winning flit of (out_port, out_vc) across the
+     *  switch. @p out / @p vc are the already-resolved output VC and
+     *  its routed source input VC (the pop is inlined here). */
+    void transferFlit(Router &rt, PortId out_port, VcId out_vc,
+                      OutputVc &out, InputVc &vc);
     void detectorCycleEnd();
     /** The per-node cycle-end sweep itself (exhaustive or
      *  active-set), without the control-traffic poll. */
@@ -370,6 +394,11 @@ class Network
     /** Pop the front flit of (router, port, vc) with tail/credit
      *  bookkeeping shared by switch traversal and recovery drain. */
     Flit popFlit(Router &rt, PortId port, VcId vc);
+
+    /** Apply queued credit returns (creditReturns_) to their output
+     *  VCs, re-arming switch candidates that come off zero credits
+     *  with a sendable source flit. */
+    void replayCredits();
 
     /** Injection-limitation check for @p node. */
     bool injectionAllowed(NodeId node) const;
@@ -435,6 +464,9 @@ class Network
     }
 
     const Topology &topo_;
+    /** topo_.numNodes(), memoised out of the virtual call: the value
+     *  bounds every per-cycle loop. */
+    NodeId nNodes_ = 0;
     NetworkParams params_;
     RouterParams routerParams_;
     RoutingFunction *routing_;
@@ -458,6 +490,9 @@ class Network
     /** Messages queued for a fault kill this cycle. */
     std::vector<MsgId> faultKillQueue_;
 
+    /** Contiguous struct-of-arrays VC state for every router;
+     *  declared before routers_, which are thin views into it. */
+    VcStore vcStore_;
     std::vector<Router> routers_;
     MessageStore messages_;
     std::vector<std::deque<MsgId>> sourceQueues_;
@@ -541,6 +576,8 @@ class Network
     bool detectorIdleStable_ = false;
     /** The attached detector wants the candidate list on failures. */
     bool detectorWantsCandidates_ = false;
+    /** The attached detector consumes injection-stall reports. */
+    bool detectorWantsInjStall_ = false;
 
     /** Nodes whose txMask_ entry is nonzero this cycle (cleared at
      *  the next step() instead of re-filling the whole vector). */
@@ -557,6 +594,79 @@ class Network
     bool checkActiveSets_ = false;
     /// @}
 
+    /** @name Struct-of-arrays hot-path state.
+     *
+     * Incrementally maintained VC-occupancy masks plus a per-input-VC
+     * route-candidate cache. All of it is derived from router/message
+     * state (rebuilt on checkpoint load, cross-checked against a
+     * brute-force recomputation by verifySoaState() when built with
+     * WORMNET_CONTRACTS=full or forced via WORMNET_CHECK_SOA=1).
+     */
+    /// @{
+    /** Per (node, out_port): bit v set when outputVc(port, v) is
+     *  allocated. Mirrors allocPerPort_ at VC granularity so the
+     *  routing phase tests a whole physical channel in one load. */
+    std::vector<std::uint32_t> outAllocVcMask_;
+    /** Per (node, out_port): bit v set when the downstream input VC
+     *  on lane v can accept a new worm (free with an empty buffer).
+     *  All-ones for ejection ports, zero for dangling mesh-edge
+     *  ports; maintained at head-enqueue and input-VC release. */
+    std::vector<std::uint32_t> downFreeVcMask_;
+
+    /** Route-candidate cache, keyed by flat input-VC id: the routing
+     *  function is pure in (node, dst, in_port, in_vc), so a blocked
+     *  head re-presents identical candidates every cycle until it is
+     *  granted. candMsg_ names the message an entry describes
+     *  (kInvalidMsg = empty/uncacheable); entries are invalidated in
+     *  bulk whenever the routing relation changes. */
+    std::vector<MsgId> candMsg_;
+    std::vector<std::uint8_t> candCount_;
+    std::vector<std::uint16_t> candPort_; ///< [flatIn * outPorts_ + i]
+    std::vector<std::uint32_t> candMask_;
+    /** Spill buffers for candidate lists wider than outPorts_. */
+    std::vector<std::uint16_t> candPortOv_;
+    std::vector<std::uint32_t> candMaskOv_;
+
+    /** Per (node, in_port): bit v set when inputVc(port, v) holds an
+     *  unrouted, non-recovering head (== inRouteSet). Lets the
+     *  routing phase visit exactly the routable VCs. */
+    std::vector<std::uint32_t> routableVcMask_;
+    /** Per (node, out_port): bit v set when outputVc(port, v) is
+     *  allocated, has credit to move a flit (ejection ports don't
+     *  consume credits, so any allocation qualifies there), and its
+     *  routed source VC holds a buffered flit and is not recovering.
+     *  The switch arbiter scans only these; the cycle-local
+     *  conditions (flit ready this cycle, not routed this very
+     *  cycle) are re-checked on load. Blocked worms stretched thin
+     *  — credits in hand but nothing buffered to send — carry a
+     *  clear bit, which is what keeps saturated-network switch
+     *  scans short. */
+    std::vector<std::uint32_t> switchCandVcMask_;
+    /** Per node: occupied injection-port VCs still mid-injection
+     *  (flitsInjected < length). When every injection VC is busy and
+     *  none is mid-injection, tryStartInjection can do nothing —
+     *  the common state of a saturated node — and is skipped. */
+    std::vector<std::uint16_t> injIncomplete_;
+    /** Injection VC slots per node (injPorts * vcs). */
+    unsigned injSlots_ = 0;
+
+    /** Brute-force cross-check of the SoA mirrors each cycle. */
+    bool checkSoa_ = false;
+
+    /** Drop every candidate-cache entry (routing relation changed
+     *  or state restored from a checkpoint). */
+    void invalidateRouteCache();
+    void verifySoaState() const;
+    /// @}
+
+    /** @name Phase-timer state (see enablePhaseTimers()). */
+    /// @{
+    bool phaseTimers_ = false;
+    std::uint64_t vaNanos_ = 0;
+    std::uint64_t saNanos_ = 0;
+    std::uint64_t flitHops_ = 0;
+    /// @}
+
     std::size_t inFlight_ = 0;
     std::size_t injectionLimitCount_ = 0;
 
@@ -566,10 +676,15 @@ class Network
     /// @{
     Cycle oracleCacheCycle_ = kNever;
     std::vector<MsgId> oracleCache_;
-    /** msg -> cycle first seen deadlocked. A hash map: the linear
-     *  scans it replaced were O(detections x deadlocked) near
-     *  saturation. */
-    std::unordered_map<MsgId, Cycle> deadlockFirstSeen_;
+    /** Cycle each message was first seen deadlocked, flat-indexed by
+     *  MsgId (kNever = not currently tracked; lazily sized, so always
+     *  bounds-check). Replaces a hash map: the detection hot path
+     *  now costs one array load instead of a hash probe. */
+    std::vector<Cycle> deadlockFirstSeen_;
+    /** Sorted ids with a live deadlockFirstSeen_ entry — drives the
+     *  per-sweep expiry walk and keeps checkpoint bytes identical to
+     *  the sorted dump the hash map produced. */
+    std::vector<MsgId> deadlockTracked_;
     /// @}
 };
 

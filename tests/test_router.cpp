@@ -86,7 +86,9 @@ TEST(InputVc, ReleaseResetsWormState)
 
 TEST(Message, LinkChainFifoOrder)
 {
+    PathSlab slab;
     Message m;
+    m.bindSlab(&slab);
     m.pushLink(1, 0, 0);
     m.pushLink(2, 1, 0);
     m.pushLink(3, 2, 1);
