@@ -23,12 +23,18 @@
  *       [--max-regress 0.30]               scenario against FILE and
  *                                          exit nonzero on a >30%
  *                                          regression
+ *   bench_hotpath --repeat N               passes per scenario; the
+ *                                          median-throughput pass is
+ *                                          reported (default 3)
+ *   bench_hotpath --sim-jobs N             sharded-stepping worker
+ *                                          count (default 1)
  *
  * The committed baseline (bench/BENCH_hotpath.json) is what the CI
  * perf-smoke step compares against; regenerate it with --out after an
  * intentional performance change on the reference machine.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -86,8 +92,8 @@ totalFlitHops(const Network &net)
 }
 
 Result
-runScenario(const Scenario &sc, std::uint64_t seed,
-            double min_seconds)
+runScenarioOnce(const Scenario &sc, std::uint64_t seed,
+                double min_seconds, unsigned sim_jobs)
 {
     SimulationConfig cfg;
     cfg.radix = sc.radix;
@@ -97,6 +103,7 @@ runScenario(const Scenario &sc, std::uint64_t seed,
     cfg.recovery = "progressive";
     cfg.oraclePeriod = 0; // isolate the per-cycle core
     cfg.seed = seed;
+    cfg.simJobs = sim_jobs;
 
     Simulation sim(cfg);
     sim.net().run(2000); // settle into steady state
@@ -118,6 +125,28 @@ runScenario(const Scenario &sc, std::uint64_t seed,
     sim.net().stats().samplePeakRss();
     r.peakRssMb = sim.net().stats().peakRssBytes >> 20;
     return r;
+}
+
+/**
+ * Repeat the scenario and keep the median-throughput pass. Single
+ * passes on saturated scenarios vary up to ~1.9x on noisy shared
+ * machines (see results/hotpath_pr8.md); the median of three is what
+ * the perf gate compares, which is what makes its per-scenario
+ * tolerances meaningful.
+ */
+Result
+runScenario(const Scenario &sc, std::uint64_t seed,
+            double min_seconds, unsigned repeat, unsigned sim_jobs)
+{
+    std::vector<Result> passes;
+    for (unsigned i = 0; i < repeat; ++i)
+        passes.push_back(
+            runScenarioOnce(sc, seed, min_seconds, sim_jobs));
+    std::sort(passes.begin(), passes.end(),
+              [](const Result &a, const Result &b) {
+                  return a.cyclesPerSec() < b.cyclesPerSec();
+              });
+    return passes[passes.size() / 2];
 }
 
 std::string
@@ -169,6 +198,8 @@ main(int argc, char **argv)
     double min_seconds = 0.5;
     double max_regress = 0.30;
     double sat_rate = 0.45; // calibrated uniform sat on a 16x16 torus
+    unsigned repeat = 3;
+    unsigned sim_jobs = 1;
     std::string out_file;
     std::string baseline_file;
 
@@ -196,6 +227,10 @@ main(int argc, char **argv)
             min_seconds = std::stod(next());
         else if (arg == "--sat")
             sat_rate = std::stod(next());
+        else if (arg == "--repeat")
+            repeat = std::max(1u, unsigned(std::stoul(next())));
+        else if (arg == "--sim-jobs")
+            sim_jobs = std::max(1u, unsigned(std::stoul(next())));
         else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return 2;
@@ -218,7 +253,8 @@ main(int argc, char **argv)
 
     std::vector<Result> results;
     for (const Scenario &sc : scenarios)
-        results.push_back(runScenario(sc, seed, min_seconds));
+        results.push_back(
+            runScenario(sc, seed, min_seconds, repeat, sim_jobs));
 
     const std::string json = toJson(results);
     std::fputs(json.c_str(), stdout);

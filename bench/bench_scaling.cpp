@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Strong-scaling benchmark for sharded stepping (--sim-jobs).
+ *
+ * Sweeps the intra-simulation worker count over {1, 2, 4, 8} on three
+ * topologies and reports cycles/sec per point plus the speedup
+ * relative to the sequential run:
+ *
+ *   saturated_32x32       1024-node 2D torus past saturation — the
+ *                         switch/routing passes dominate
+ *   saturated_8ary3cube   the paper's 512-node 8-ary 3-cube, also
+ *                         saturated
+ *   64ary3cube_spot       a 262,144-node 64-ary 3-cube at light load
+ *                         for a fixed cycle budget — the million-node
+ *                         regime where the generation pass is the
+ *                         per-cycle floor and per-shard memory
+ *                         footprint matters
+ *
+ * The spot scenario doubles as a determinism assertion: it runs the
+ * same fixed budget at every job count and the bench exits nonzero if
+ * the delivered-message counts differ (a cheap slice of the bitwise
+ * contract tests/test_shard_step.cpp checks exhaustively).
+ *
+ * Output is JSON including a "host_cores" field so downstream tooling
+ * (scripts/perf_gate.py --scaling) can tell real scaling failures
+ * apart from oversubscription on small CI hosts: on a 1-core runner a
+ * flat curve is the expected result, not a regression.
+ *
+ *   bench_scaling                       print JSON to stdout
+ *   bench_scaling --out FILE            also write FILE
+ *   bench_scaling --jobs 1,2,4,8        worker counts to sweep
+ *   bench_scaling --min-seconds 0.5     per-point time (timed rows)
+ *   bench_scaling --spot-cycles 400     fixed budget for the 262k row
+ *   bench_scaling --skip-spot           drop the 262k row entirely
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/simulation.hh"
+
+namespace
+{
+
+using namespace wormnet;
+using Clock = std::chrono::steady_clock;
+
+struct Scenario
+{
+    std::string name;
+    unsigned radix;
+    unsigned dims;
+    double flitRate;
+    /** Nonzero: run exactly this many measured cycles instead of
+     *  filling --min-seconds (for topologies where a timed loop
+     *  would not fit a CI smoke budget). */
+    Cycle fixedCycles;
+};
+
+struct Point
+{
+    unsigned jobs = 1;
+    std::uint64_t cycles = 0;
+    double seconds = 0.0;
+    std::uint64_t delivered = 0;
+
+    double cyclesPerSec() const
+    {
+        return seconds > 0.0 ? double(cycles) / seconds : 0.0;
+    }
+};
+
+struct Curve
+{
+    std::string name;
+    std::uint64_t nodes = 0;
+    std::vector<Point> points;
+};
+
+Point
+runPoint(const Scenario &sc, unsigned jobs, std::uint64_t seed,
+         double min_seconds)
+{
+    SimulationConfig cfg;
+    cfg.radix = sc.radix;
+    cfg.dims = sc.dims;
+    cfg.flitRate = sc.flitRate;
+    cfg.detector = "ndm:32";
+    cfg.recovery = "progressive";
+    cfg.oraclePeriod = 0; // isolate the per-cycle core
+    cfg.seed = seed;
+    cfg.simJobs = jobs;
+
+    Simulation sim(cfg);
+    const Cycle warmup = sc.fixedCycles ? sc.fixedCycles / 4 : 2000;
+    sim.net().run(warmup);
+    sim.net().startMeasurement();
+
+    Point p;
+    p.jobs = jobs;
+    const auto start = Clock::now();
+    if (sc.fixedCycles) {
+        sim.net().run(sc.fixedCycles);
+        p.cycles = sc.fixedCycles;
+        p.seconds = std::chrono::duration<double>(Clock::now() -
+                                                  start)
+                        .count();
+    } else {
+        const Cycle chunk = 2000;
+        double elapsed = 0.0;
+        do {
+            sim.net().run(chunk);
+            p.cycles += chunk;
+            elapsed = std::chrono::duration<double>(Clock::now() -
+                                                    start)
+                          .count();
+        } while (elapsed < min_seconds);
+        p.seconds = elapsed;
+    }
+    p.delivered = sim.net().stats().delivered;
+    return p;
+}
+
+std::string
+toJson(const std::vector<Curve> &curves, unsigned host_cores)
+{
+    std::ostringstream os;
+    os << "{\n  \"benchmark\": \"bench_scaling\",\n"
+       << "  \"host_cores\": " << host_cores << ",\n"
+       << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+        const Curve &c = curves[i];
+        const double base = c.points.empty()
+                                ? 0.0
+                                : c.points.front().cyclesPerSec();
+        os << "    {\"name\": \"" << c.name << "\", \"nodes\": "
+           << c.nodes << ", \"points\": [\n";
+        for (std::size_t j = 0; j < c.points.size(); ++j) {
+            const Point &p = c.points[j];
+            const double speedup =
+                base > 0.0 ? p.cyclesPerSec() / base : 0.0;
+            os << "      {\"jobs\": " << p.jobs << ", \"cycles\": "
+               << p.cycles << ", \"seconds\": " << p.seconds
+               << ", \"cycles_per_sec\": "
+               << std::uint64_t(p.cyclesPerSec())
+               << ", \"speedup\": " << speedup << "}"
+               << (j + 1 < c.points.size() ? "," : "") << "\n";
+        }
+        os << "    ]}" << (i + 1 < curves.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+std::vector<unsigned>
+parseJobsList(const std::string &spec)
+{
+    std::vector<unsigned> jobs;
+    std::istringstream is(spec);
+    std::string tok;
+    while (std::getline(is, tok, ','))
+        if (!tok.empty())
+            jobs.push_back(
+                std::max(1u, unsigned(std::stoul(tok))));
+    if (jobs.empty())
+        jobs.push_back(1);
+    return jobs;
+}
+
+std::uint64_t
+nodeCount(const Scenario &sc)
+{
+    std::uint64_t n = 1;
+    for (unsigned d = 0; d < sc.dims; ++d)
+        n *= sc.radix;
+    return n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 12345;
+    double min_seconds = 0.5;
+    Cycle spot_cycles = 400;
+    bool skip_spot = false;
+    std::string jobs_spec = "1,2,4,8";
+    std::string out_file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out")
+            out_file = next();
+        else if (arg == "--jobs")
+            jobs_spec = next();
+        else if (arg == "--seed")
+            seed = std::stoull(next());
+        else if (arg == "--min-seconds")
+            min_seconds = std::stod(next());
+        else if (arg == "--spot-cycles")
+            spot_cycles = std::stoull(next());
+        else if (arg == "--skip-spot")
+            skip_spot = true;
+        else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    const std::vector<unsigned> jobs = parseJobsList(jobs_spec);
+
+    // Saturation rates match bench_hotpath's calibration; the spot
+    // row stays light so the fixed budget finishes inside a CI smoke
+    // window even sequentially.
+    std::vector<Scenario> scenarios = {
+        {"saturated_32x32", 32, 2, 1.1 * 0.45 * 16.0 / 32.0, 0},
+        {"saturated_8ary3cube", 8, 3, 0.9, 0},
+    };
+    if (!skip_spot)
+        scenarios.push_back(
+            {"64ary3cube_spot", 64, 3, 0.002, spot_cycles});
+
+    int failures = 0;
+    std::vector<Curve> curves;
+    for (const Scenario &sc : scenarios) {
+        Curve c;
+        c.name = sc.name;
+        c.nodes = nodeCount(sc);
+        for (unsigned j : jobs) {
+            const Point p = runPoint(sc, j, seed, min_seconds);
+            std::fprintf(stderr,
+                         "%-22s jobs=%u  %12.0f cyc/s"
+                         "  (%llu cycles, %.2fs)\n",
+                         sc.name.c_str(), j, p.cyclesPerSec(),
+                         static_cast<unsigned long long>(p.cycles),
+                         p.seconds);
+            c.points.push_back(p);
+        }
+        // Fixed-budget rows run identical cycle counts at every job
+        // count, so delivered-message totals must agree exactly.
+        if (sc.fixedCycles) {
+            for (const Point &p : c.points) {
+                if (p.delivered != c.points.front().delivered) {
+                    std::fprintf(
+                        stderr,
+                        "DETERMINISM FAILURE: %s delivered %llu at "
+                        "jobs=%u but %llu at jobs=%u\n",
+                        sc.name.c_str(),
+                        static_cast<unsigned long long>(p.delivered),
+                        p.jobs,
+                        static_cast<unsigned long long>(
+                            c.points.front().delivered),
+                        c.points.front().jobs);
+                    ++failures;
+                }
+            }
+        }
+        curves.push_back(std::move(c));
+    }
+
+    const unsigned host_cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    const std::string json = toJson(curves, host_cores);
+    std::fputs(json.c_str(), stdout);
+    if (!out_file.empty()) {
+        std::ofstream out(out_file, std::ios::binary);
+        out << json;
+    }
+    return failures == 0 ? 0 : 1;
+}

@@ -3,9 +3,19 @@
 
 Runs bench_hotpath, compares every scenario's cycles/sec against the
 committed baseline (bench/BENCH_hotpath.json) and fails only on a
-regression beyond --max-regress (default 30%, wide because shared CI
-runners are noisy: the gate catches a reintroduced exhaustive scan,
-not small drifts). Improvements and new scenarios never fail.
+regression beyond that scenario's tolerance (SCENARIO_TOLERANCE;
+--max-regress for scenarios not listed there). Tolerances are wide
+because shared CI runners are noisy: the gate catches a reintroduced
+exhaustive scan, not small drifts. Improvements and new scenarios
+never fail.
+
+With --scaling FILE the gate additionally checks a bench_scaling run:
+every scenario must have completed its jobs sweep (in particular the
+262k-node 64ary3cube_spot row), and the saturated_8ary3cube speedup
+at the highest job count must reach --min-speedup — but only when the
+recorded host_cores covers that job count. On a 1- or 2-core runner a
+flat curve is oversubscription, not a regression, so the ratio check
+is reported and skipped.
 
 Usage:
   scripts/perf_gate.py [--bench build/bench/bench_hotpath]
@@ -13,6 +23,8 @@ Usage:
                        [--max-regress 0.30] [--min-seconds 1]
                        [--json current.json]   # compare a saved run
                        [--out refreshed.json]  # also save this run
+                       [--scaling BENCH_scaling.json]
+                       [--min-speedup 3.0]
 
 Exit codes: 0 ok, 1 regression, 2 usage/environment error.
 """
@@ -21,6 +33,24 @@ import argparse
 import json
 import subprocess
 import sys
+
+# Per-scenario regression tolerance (fraction below baseline that
+# still passes). Saturated scenarios need the most headroom: even
+# with bench_hotpath's best-of-3 medians their passes vary up to
+# ~1.9x run-to-run on shared runners (results/hotpath_pr8.md), while
+# idle/low-load rows are far steadier. Scenarios not listed here use
+# --max-regress.
+SCENARIO_TOLERANCE = {
+    "idle_16x16": 0.30,
+    "low_load_16x16": 0.35,
+    "saturated_16x16": 0.50,
+    "saturated_32x32": 0.50,
+    "saturated_8ary3cube": 0.50,
+}
+
+# The scaling scenario whose speedup curve the gate asserts on, and
+# the job count the assertion applies to.
+SCALING_SCENARIO = "saturated_8ary3cube"
 
 
 def load_scenarios(doc):
@@ -32,6 +62,52 @@ def load_scenarios(doc):
         }
     except (KeyError, TypeError) as exc:
         sys.exit(f"perf_gate: malformed bench JSON: {exc}")
+
+
+def check_scaling(path, min_speedup):
+    """Validate a bench_scaling JSON. Returns a list of failures."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"perf_gate: cannot read scaling JSON: {exc}")
+
+    failures = []
+    host_cores = int(doc.get("host_cores", 1))
+    scenarios = {s["name"]: s for s in doc.get("scenarios", [])}
+
+    if "64ary3cube_spot" not in scenarios:
+        failures.append("scaling run is missing the 262k-node "
+                        "64ary3cube_spot scenario")
+    for name, sc in scenarios.items():
+        for p in sc.get("points", []):
+            if p.get("cycles", 0) <= 0 or p.get("seconds", 0) <= 0:
+                failures.append(
+                    f"{name} jobs={p.get('jobs')} did not complete")
+
+    sc = scenarios.get(SCALING_SCENARIO)
+    if sc is None:
+        failures.append(f"scaling run is missing {SCALING_SCENARIO}")
+        return failures
+    points = sorted(sc.get("points", []),
+                    key=lambda p: p.get("jobs", 0))
+    if not points:
+        failures.append(f"{SCALING_SCENARIO} has no points")
+        return failures
+    top = points[-1]
+    jobs, speedup = int(top.get("jobs", 1)), float(
+        top.get("speedup", 0.0))
+    print(f"scaling: {SCALING_SCENARIO} jobs={jobs} "
+          f"speedup={speedup:.2f}x (host_cores={host_cores})")
+    if host_cores < jobs:
+        print(f"scaling: host has {host_cores} core(s) < {jobs} "
+              f"jobs — speedup assertion skipped "
+              f"(oversubscribed, flat curve expected)")
+    elif speedup < min_speedup:
+        failures.append(
+            f"{SCALING_SCENARIO} speedup at jobs={jobs} is "
+            f"{speedup:.2f}x, below the {min_speedup:.2f}x floor")
+    return failures
 
 
 def main():
@@ -52,6 +128,12 @@ def main():
     ap.add_argument("--out", default=None,
                     help="write the current run's JSON here (for "
                          "refreshing the baseline)")
+    ap.add_argument("--scaling", default=None,
+                    help="also validate this bench_scaling JSON")
+    ap.add_argument("--min-speedup", type=float, default=3.0,
+                    help="required speedup at the highest job count "
+                         "of the scaling sweep (checked only when "
+                         "host_cores covers it)")
     args = ap.parse_args()
 
     try:
@@ -93,29 +175,39 @@ def main():
             print(f"{name:<{width}}  {cps:12.0f} cyc/s  "
                   f"(new scenario, no baseline)")
             continue
+        tol = SCENARIO_TOLERANCE.get(name, args.max_regress)
         ratio = cps / ref if ref > 0 else float("inf")
         verdict = "ok"
-        if ratio < 1.0 - args.max_regress:
+        if ratio < 1.0 - tol:
             verdict = "REGRESSION"
             failures.append(name)
         print(f"{name:<{width}}  {cps:12.0f} cyc/s  vs "
-              f"{ref:12.0f}  ({ratio:5.2f}x)  {verdict}")
+              f"{ref:12.0f}  ({ratio:5.2f}x, tol {tol:.0%})  "
+              f"{verdict}")
     missing = sorted(set(baseline) - set(current))
     for name in missing:
         print(f"{name:<{width}}  baseline scenario missing from "
               f"current run", file=sys.stderr)
 
+    scaling_failures = []
+    if args.scaling:
+        scaling_failures = check_scaling(args.scaling,
+                                         args.min_speedup)
+        for msg in scaling_failures:
+            print(f"perf_gate: scaling: {msg}", file=sys.stderr)
+
     if failures:
         print(f"perf_gate: {len(failures)} scenario(s) regressed "
-              f"beyond {args.max_regress:.0%}: "
-              f"{', '.join(failures)}", file=sys.stderr)
+              f"beyond tolerance: {', '.join(failures)}",
+              file=sys.stderr)
         return 1
     if missing:
         print("perf_gate: treating missing scenarios as failure",
               file=sys.stderr)
         return 1
-    print(f"perf_gate: all scenarios within {args.max_regress:.0%} "
-          f"of baseline")
+    if scaling_failures:
+        return 1
+    print("perf_gate: all scenarios within tolerance of baseline")
     return 0
 
 

@@ -21,10 +21,14 @@
 #
 # The TSan pass runs the tests that exercise the work-stealing pool
 # and the parallel experiment harness (test_parallel,
-# test_experiment) plus the DWFG jobs-invariance batch (whole
-# simulations with probe bookkeeping on worker threads): that is
-# where threads share state. TSAN_CTEST_RE overrides the selection;
-# the full suite under TSan works too, it is just slow.
+# test_experiment), the DWFG jobs-invariance batch (whole
+# simulations with probe bookkeeping on worker threads), and the
+# sharded-stepping suites (ShardStep, SoaLayout): that is where
+# threads share state. WORMNET_SIM_JOBS=8 makes every simulation
+# large enough to shard run its per-cycle passes on 8 workers, so
+# the SoA cross-checks also execute against sharded state.
+# TSAN_CTEST_RE overrides the selection; the full suite under TSan
+# works too, it is just slow.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -59,8 +63,9 @@ run_tsan() {
     cmake --build "$build_dir" -j "$(nproc)"
 
     TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    WORMNET_SIM_JOBS=8 \
     ctest --test-dir "$build_dir" --output-on-failure \
-        -R "${TSAN_CTEST_RE:-ThreadPool|ParallelFor|ParallelDeterminism|Experiment|DwfgDifferential.Batch}" \
+        -R "${TSAN_CTEST_RE:-ThreadPool|ParallelFor|ParallelDeterminism|Experiment|DwfgDifferential.Batch|ShardStep|SoaLayout}" \
         -j "$(nproc)"
 }
 

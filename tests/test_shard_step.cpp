@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Determinism tests for sharded stepping (--sim-jobs).
+ *
+ * Network::setSimJobs(N) fans the read-only per-cycle passes of
+ * step() across N workers over contiguous 64-aligned node shards
+ * while every state commit stays sequential in ascending node order.
+ * The contract is bitwise identity: the complete serialized network
+ * state — clock, RNG streams, every VC and flit buffer, the message
+ * store, statistics, detector and recovery state — must be equal at
+ * every job count, on every scenario. These tests drive the
+ * adversarial ones: saturation (all four staged phases busy), DWFG
+ * probes in flight (a detector that keeps the sequential cycle-end
+ * sweep while generation/routing/switch still shard), fault kills
+ * and a reconfiguration epoch whose link crosses a shard boundary,
+ * and a checkpoint written under jobs=8 and resumed under jobs=1
+ * (the shard count is a runtime choice, not serialized state).
+ *
+ * The 16x16 torus (256 nodes) is the smallest shape that actually
+ * shards: at jobs=8 the 64-aligned partition yields four shards with
+ * boundaries at nodes 64, 128 and 192.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.hh"
+#include "core/simulation.hh"
+#include "sim/validate.hh"
+
+namespace wormnet
+{
+namespace
+{
+
+SimulationConfig
+shardedConfig()
+{
+    SimulationConfig cfg;
+    cfg.radix = 16;
+    cfg.dims = 2;
+    cfg.vcs = 3;
+    cfg.bufDepth = 4;
+    cfg.detector = "ndm:32";
+    cfg.recovery = "progressive";
+    cfg.oraclePeriod = 64;
+    cfg.seed = 17;
+    return cfg;
+}
+
+std::vector<std::uint8_t>
+snapshot(const Simulation &sim)
+{
+    Serializer s;
+    sim.net().saveState(s);
+    return s.bytes();
+}
+
+/** Run the scenario at @p jobs: warmup, measure, return the full
+ *  serialized network state (covers stats bit-for-bit too). */
+std::vector<std::uint8_t>
+runAtJobs(SimulationConfig cfg, unsigned jobs, Cycle warmup,
+          Cycle measure, std::uint64_t *delivered = nullptr)
+{
+    cfg.simJobs = jobs;
+    Simulation sim(cfg);
+    EXPECT_EQ(sim.net().simJobs(), jobs);
+    sim.net().run(warmup);
+    sim.net().startMeasurement();
+    sim.net().run(measure);
+    validateNetworkInvariants(sim.net());
+    if (delivered)
+        *delivered = sim.net().stats().delivered;
+    return snapshot(sim);
+}
+
+TEST(ShardStep, SaturatedStatsBitwiseIdenticalAcrossSimJobs)
+{
+    // Past saturation every staged phase does real work each cycle:
+    // generator draws on all 256 nodes, routing-cache warms, switch
+    // decisions on most routers, detector sweeps.
+    SimulationConfig cfg = shardedConfig();
+    cfg.flitRate = 0.55;
+
+    std::uint64_t delivered = 0;
+    const auto j1 = runAtJobs(cfg, 1, 400, 800, &delivered);
+    EXPECT_GT(delivered, 1000u) << "scenario must carry real traffic";
+    EXPECT_EQ(j1, runAtJobs(cfg, 2, 400, 800));
+    EXPECT_EQ(j1, runAtJobs(cfg, 8, 400, 800));
+}
+
+TEST(ShardStep, DwfgProbesInFlightInvariance)
+{
+    // DWFG is not cycleEndShardSafe(): its probe transport keeps the
+    // sequential cycle-end sweep while generation, route warming and
+    // switch decisions still shard. Saturated 2-VC traffic keeps
+    // blocked heads (and therefore probes) in flight the whole run.
+    SimulationConfig cfg = shardedConfig();
+    cfg.vcs = 2;
+    cfg.flitRate = 0.6;
+    cfg.detector = "dwfg";
+    cfg.seed = 29;
+
+    const auto j1 = runAtJobs(cfg, 1, 300, 600);
+    EXPECT_EQ(j1, runAtJobs(cfg, 2, 300, 600));
+    EXPECT_EQ(j1, runAtJobs(cfg, 8, 300, 600));
+}
+
+TEST(ShardStep, FaultsAndReconfigEpochAcrossShardBoundary)
+{
+    // Node 55 lives in shard 0 and node 71 in shard 1 (jobs=8 puts
+    // the first boundary at node 64): the removed/re-added link and
+    // the stranded-worm kills it causes straddle the partition, and
+    // a mid-run routing swap invalidates every shard's warmed
+    // candidate cache at once.
+    SimulationConfig cfg = shardedConfig();
+    cfg.flitRate = 0.3;
+    cfg.recovery = "regressive:16";
+    cfg.faults = "link:40>41@200,router:130@600,rate:1e-5";
+    cfg.faultRepair = 300;
+    cfg.maxRetries = 4;
+    cfg.reconfig = "link-:55>71@250,routing:duato@500,link+:55>71@750";
+    cfg.seed = 23;
+
+    std::uint64_t delivered = 0;
+    const auto j1 = runAtJobs(cfg, 1, 500, 700, &delivered);
+    EXPECT_GT(delivered, 100u);
+    EXPECT_EQ(j1, runAtJobs(cfg, 2, 500, 700));
+    EXPECT_EQ(j1, runAtJobs(cfg, 8, 500, 700));
+}
+
+TEST(ShardStep, CheckpointWrittenAtJobs8ResumesAtJobs1)
+{
+    // The shard count is a runtime execution choice: it is excluded
+    // from the canonical config string, so a checkpoint written
+    // while stepping on 8 workers must restore into a sequential
+    // simulation — and both must then advance identically.
+    SimulationConfig cfg = shardedConfig();
+    cfg.flitRate = 0.55;
+
+    SimulationConfig cfg8 = cfg;
+    cfg8.simJobs = 8;
+    Simulation a(cfg8);
+    a.net().run(250);
+    a.net().startMeasurement();
+    a.net().run(250);
+    ASSERT_GT(a.net().inFlight(), 0u)
+        << "scenario must checkpoint with worms mid-flight";
+
+    const std::string path =
+        ::testing::TempDir() + "wormnet_shard_ckpt.bin";
+    a.saveCheckpoint(path);
+
+    SimulationConfig cfg1 = cfg;
+    cfg1.simJobs = 1;
+    Simulation b(cfg1);
+    b.loadCheckpoint(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(snapshot(a), snapshot(b))
+        << "restored state diverges at the save point";
+
+    a.net().run(500);
+    b.net().run(500);
+    EXPECT_EQ(a.net().now(), b.net().now());
+    EXPECT_EQ(snapshot(a), snapshot(b))
+        << "jobs=8 writer and jobs=1 resumer diverged";
+}
+
+TEST(ShardStep, CrossChecksCleanUnderSharding)
+{
+    // The brute-force active-set and SoA cross-checks recompute all
+    // derived state from the authoritative structs at the end of
+    // every cycle and panic on divergence — running saturated
+    // sharded traffic under both flags is the assertion.
+    ::setenv("WORMNET_CHECK_ACTIVE_SETS", "1", 1);
+    ::setenv("WORMNET_CHECK_SOA", "1", 1);
+    SimulationConfig cfg = shardedConfig();
+    cfg.flitRate = 0.55;
+    cfg.simJobs = 8;
+    Simulation sim(cfg);
+    sim.net().run(600);
+    validateNetworkInvariants(sim.net());
+    ::unsetenv("WORMNET_CHECK_ACTIVE_SETS");
+    ::unsetenv("WORMNET_CHECK_SOA");
+    EXPECT_GT(sim.net().stats().delivered, 500u);
+}
+
+} // namespace
+} // namespace wormnet
