@@ -34,6 +34,9 @@
  * intentional performance change on the reference machine.
  */
 
+// wormnet-lint: allow-file(banned-api): a benchmark measures wall
+// time by design; its timings are reporting, not simulation state.
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>

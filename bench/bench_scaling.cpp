@@ -34,6 +34,9 @@
  *   bench_scaling --skip-spot           drop the 262k row entirely
  */
 
+// wormnet-lint: allow-file(banned-api): a benchmark measures wall
+// time by design; its timings are reporting, not simulation state.
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>

@@ -34,6 +34,8 @@ using Clock = std::chrono::steady_clock;
 double
 secondsSince(Clock::time_point start)
 {
+    // wormnet-lint: allow(banned-api): progress reporting only —
+    // elapsed seconds go to stderr, never into a table cell
     return std::chrono::duration<double>(Clock::now() - start)
         .count();
 }
@@ -162,6 +164,7 @@ ExperimentRunner::runTable(const TableSpec &spec) const
     // the pool at once; each writes its own slot, and the per-cell
     // reduction below walks the slots in serial order, so the table
     // is bitwise-identical for every job count.
+    // wormnet-lint: allow(banned-api): stderr progress ETA baseline
     const auto start = Clock::now();
     std::vector<CellResult> raw(nCells * reps);
 
@@ -236,11 +239,14 @@ ExperimentRunner::runTable(const TableSpec &spec) const
                                 spec.thresholds[t]);
         cfg.seed = deriveSeed(spec.base.seed, c, p);
 
+        // wormnet-lint: allow(banned-api): busy-time accounting for
+        // the stderr progress line; table cells never see it
         const auto cellStart = Clock::now();
         raw[w] = runCell(cfg, spec.warmup, spec.measure);
         busyNanos.fetch_add(
             static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    // wormnet-lint: allow(banned-api): same busy-time
                     Clock::now() - cellStart)
                     .count()),
             std::memory_order_relaxed);

@@ -501,10 +501,14 @@ Network::step()
     generateAndInject();
     if (phaseTimers_) {
         using clock = std::chrono::steady_clock;
+        // wormnet-lint: allow(banned-api): --phase-timers diagnostic;
+        // feeds stderr-only per-phase nanosecond totals, never state
         const auto t0 = clock::now();
         routeAll();
+        // wormnet-lint: allow(banned-api): diagnostic phase timer
         const auto t1 = clock::now();
         switchAll();
+        // wormnet-lint: allow(banned-api): diagnostic phase timer
         const auto t2 = clock::now();
         vaNanos_ += std::chrono::duration_cast<
                         std::chrono::nanoseconds>(t1 - t0)
@@ -1264,7 +1268,7 @@ Network::switchDecideShard(unsigned shard, NodeId begin, NodeId end)
     std::vector<SwitchDecision> &wins = shardScratch_[shard].wins;
     wins.clear();
     switchActive_.forEachInRange(begin, end, [&](NodeId node) {
-        Router &rt = routers_[node];
+        const Router &rt = routers_[node];
         const PortMask fault_mask = deadOutMask(node);
         PortMask ports = allocOutMask_[node] & ~fault_mask;
         while (ports) {

@@ -34,6 +34,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/contracts.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
@@ -363,17 +364,23 @@ class Network
 
   private:
     friend class ReconfigManager;
-    void generateAndInject();
+    /* The per-cycle phase drivers below are *commit* phase: they
+     * mutate committed network state in ascending node order and own
+     * the global RNG stream. Their shard-parallel decide passes are
+     * declared further down with WN_DECIDE_PHASE; wormnet-lint
+     * enforces the split (see docs/STATIC_ANALYSIS.md). */
+    WN_COMMIT_PHASE void generateAndInject();
     void tryStartInjection(NodeId node);
-    void routeAll();
-    void routeOne(Router &rt, PortId port, VcId vc,
-                  PortMask fault_mask);
-    void switchAll();
+    WN_COMMIT_PHASE void routeAll();
+    WN_COMMIT_PHASE void routeOne(Router &rt, PortId port, VcId vc,
+                                  PortMask fault_mask);
+    WN_COMMIT_PHASE void switchAll();
     /** Move the winning flit of (out_port, out_vc) across the
      *  switch. @p out / @p vc are the already-resolved output VC and
      *  its routed source input VC (the pop is inlined here). */
-    void transferFlit(Router &rt, PortId out_port, VcId out_vc,
-                      OutputVc &out, InputVc &vc);
+    WN_COMMIT_PHASE void transferFlit(Router &rt, PortId out_port,
+                                      VcId out_vc, OutputVc &out,
+                                      InputVc &vc);
     void detectorCycleEnd();
     /** The per-node cycle-end sweep itself (exhaustive or
      *  active-set), without the control-traffic poll. */
@@ -515,12 +522,14 @@ class Network
 
     /** Parallel pass of the generation phase: tick every online
      *  node's generator in [begin, end) into genStage_. */
-    void stageGeneration(NodeId begin, NodeId end);
+    WN_DECIDE_PHASE void stageGeneration(NodeId begin, NodeId end);
 
     /** Parallel pass of the routing phase: warm the route-candidate
      *  cache for every routable head in [begin, end) so the
      *  sequential routeAll() commit only replays cache hits. */
-    void warmRouteCandidates(unsigned shard, NodeId begin, NodeId end);
+    WN_DECIDE_PHASE void warmRouteCandidates(unsigned shard,
+                                             NodeId begin,
+                                             NodeId end);
 
     /** One switch-arbitration winner, staged by the parallel decide
      *  pass and committed sequentially. */
@@ -534,7 +543,8 @@ class Network
     /** Parallel pass of the switch phase: run the arbitration scan
      *  for [begin, end) over frozen state, appending winners (in
      *  ascending node/port order) to the shard's decision list. */
-    void switchDecideShard(unsigned shard, NodeId begin, NodeId end);
+    WN_DECIDE_PHASE void switchDecideShard(unsigned shard,
+                                           NodeId begin, NodeId end);
     /// @}
 
     /** Emit a trace record when a tracer is attached. */
@@ -579,7 +589,10 @@ class Network
     std::vector<Router> routers_;
     MessageStore messages_;
     std::vector<std::deque<MsgId>> sourceQueues_;
-    std::vector<NodeGenerator> generators_;
+    /* Each generator owns a private RNG stream keyed by node id, so
+     * concurrent ticks from disjoint node ranges are shard-disjoint
+     * by construction. */
+    WN_SHARD_LOCAL std::vector<NodeGenerator> generators_;
 
     /** (cycle, msg) pairs waiting for regressive re-injection. */
     struct Reinject
@@ -702,10 +715,11 @@ class Network
      *  granted. candMsg_ names the message an entry describes
      *  (kInvalidMsg = empty/uncacheable); entries are invalidated in
      *  bulk whenever the routing relation changes. */
-    std::vector<MsgId> candMsg_;
-    std::vector<std::uint8_t> candCount_;
-    std::vector<std::uint16_t> candPort_; ///< [flatIn * outPorts_ + i]
-    std::vector<std::uint32_t> candMask_;
+    WN_SHARD_LOCAL std::vector<MsgId> candMsg_;
+    WN_SHARD_LOCAL std::vector<std::uint8_t> candCount_;
+    WN_SHARD_LOCAL std::vector<std::uint16_t>
+        candPort_; ///< [flatIn * outPorts_ + i]
+    WN_SHARD_LOCAL std::vector<std::uint32_t> candMask_;
     /** Spill buffers for candidate lists wider than outPorts_. */
     std::vector<std::uint16_t> candPortOv_;
     std::vector<std::uint32_t> candMaskOv_;
@@ -759,7 +773,7 @@ class Network
         unsigned length = 0;
         bool has = false;
     };
-    std::vector<GenStage> genStage_;
+    WN_SHARD_LOCAL std::vector<GenStage> genStage_;
 
     /** Per-shard scratch: a private route() output buffer for the
      *  cache-warming pass and the staged switch decisions. */
@@ -768,7 +782,7 @@ class Network
         std::vector<RouteCandidate> cand;
         std::vector<SwitchDecision> wins;
     };
-    std::vector<ShardScratch> shardScratch_;
+    WN_SHARD_LOCAL std::vector<ShardScratch> shardScratch_;
     /// @}
 
     /** Drop every candidate-cache entry (routing relation changed

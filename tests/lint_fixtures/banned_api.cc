@@ -1,0 +1,72 @@
+/**
+ * @file
+ * wormnet-lint fixture: the banned-api family.
+ *
+ * Never compiled — linted only. Every API here can silently break
+ * run-to-run reproducibility: libc randomness and time, wall clocks
+ * (directly or laundered through a using-alias), nondeterministic
+ * seed sources, pointer-value ordering, and float accumulation in
+ * hash order.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
+#include <random>
+#include <unordered_map>
+
+using Clock = std::chrono::steady_clock;
+
+double
+libcNondeterminism()
+{
+    std::srand(              // EXPECT: banned-api/libc
+        unsigned(time(       // EXPECT: banned-api/libc
+            nullptr)));
+    return rand() / 2.0;     // EXPECT: banned-api/libc
+}
+
+long
+wallClockReads()
+{
+    const auto direct =
+        std::chrono::steady_clock::now(); // EXPECT: banned-api/wall-clock
+    const auto aliased = Clock::now();    // EXPECT: banned-api/wall-clock
+    // A justified suppression is honoured.
+    // wormnet-lint: allow(banned-api): fixture — progress reporting
+    const auto ok = Clock::now();
+    (void)ok;
+    return (aliased - direct).count();
+}
+
+std::uint64_t
+seedHazards()
+{
+    std::random_device rd;   // EXPECT: banned-api/random-device
+    std::mt19937_64 gen;     // EXPECT: banned-api/rng-seed
+    std::mt19937_64 pinned(0x9e3779b97f4a7c15ull); // seeded: clean
+    return rd() ^ gen() ^ pinned();
+}
+
+struct Worm;
+
+std::size_t
+pointerOrdering(Worm *w)
+{
+    std::less<Worm *> before; // EXPECT: banned-api/ptr-order
+    std::unordered_map<Worm *, int> // EXPECT: banned-api/ptr-key
+        index;
+    index[w] = 1;
+    return index.size() + std::size_t(before(w, w));
+}
+
+double
+floatAccumulation(const std::unordered_map<int, double> &weights)
+{
+    double total = 0.0;
+    for (const auto &kv : weights) {
+        total += kv.second; // EXPECT: banned-api/float-accum
+    }
+    return total;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * wormnet-lint fixture: the phase-discipline family.
+ *
+ * Never compiled — linted only. Mirrors the decide/commit split of
+ * Network: WN_DECIDE_PHASE code runs fanned out over frozen state,
+ * so it must not draw the global RNG, write non-WN_SHARD_LOCAL
+ * members, or reach WN_COMMIT_PHASE code.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#if defined(__clang__)
+#define WN_DECIDE_PHASE [[clang::annotate("wormnet::decide_phase")]]
+#define WN_COMMIT_PHASE [[clang::annotate("wormnet::commit_phase")]]
+#define WN_SHARD_LOCAL [[clang::annotate("wormnet::shard_local")]]
+#else
+#define WN_DECIDE_PHASE
+#define WN_COMMIT_PHASE
+#define WN_SHARD_LOCAL
+#endif
+
+struct Rng
+{
+    std::uint64_t next();
+};
+
+class Net
+{
+  public:
+    WN_DECIDE_PHASE void decideShard(unsigned shard);
+    WN_DECIDE_PHASE void decideClean(unsigned shard);
+    WN_COMMIT_PHASE void commitAll();
+    void helper();
+
+  private:
+    Rng rng_;
+    std::vector<int> committed_;
+    WN_SHARD_LOCAL std::vector<int> scratch_;
+};
+
+void
+Net::decideShard(unsigned shard)
+{
+    // Rule 1: the global RNG stream belongs to the commit phase.
+    const auto r = rng_.next(); // EXPECT: phase-discipline/decide-rng
+    (void)r;
+
+    // Rule 2: only WN_SHARD_LOCAL members may be written.
+    committed_[shard] = 1; // EXPECT: phase-discipline/decide-write
+    committed_.push_back(  // EXPECT: phase-discipline/decide-write
+        int(shard));
+    int &slot = committed_[shard]; // EXPECT: phase-discipline/decide-write
+    (void)slot;
+
+    // Rule 3: no path into commit-phase code, even transitively
+    // (helper() below calls commitAll()).
+    helper(); // EXPECT: phase-discipline/decide-calls-commit
+}
+
+void
+Net::decideClean(unsigned shard)
+{
+    // Shard-local writes and const views of committed state are the
+    // sanctioned pattern — no findings here.
+    scratch_[shard] = 1;
+    scratch_.push_back(int(shard));
+    const int &v = committed_[shard];
+    (void)v;
+    // A justified suppression covers an audited exception.
+    // wormnet-lint: allow(phase-discipline): fixture — writes proven
+    // shard-disjoint by the node-range partition
+    committed_[shard] = 2;
+}
+
+void
+Net::helper()
+{
+    commitAll();
+}
+
+void
+Net::commitAll()
+{
+    committed_.clear();
+}

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Clang LibTooling frontend for wormnet-lint (opt-in, see
+ * CMakeLists.txt: -DWORMNET_LINT_CLANG=ON).
+ *
+ * Implements the same three check families as the built-in frontend
+ * on real ASTs built from compile_commands.json:
+ *
+ *  - nondet-iter: CXXForRangeStmt whose range's desugared record
+ *    type is a std::unordered_* container and is not wrapped in
+ *    wormnet::sorted_view().
+ *  - phase-discipline: functions carrying the
+ *    [[clang::annotate("wormnet::decide_phase")]] attribute (spelled
+ *    WN_DECIDE_PHASE) must not reference the global RNG, must not
+ *    write fields lacking the wormnet::shard_local annotation, and
+ *    must not call commit_phase-annotated functions.
+ *  - banned-api: rand/srand/time, *_clock::now(),
+ *    std::random_device, default-seeded std RNG engines.
+ *
+ * Reachability gating of nondet-iter (commit/serialization/stats/
+ * stdout paths) matches the built-in frontend's root set: any
+ * function that references a std stream, a printf-family function,
+ * a field named stats_, or is (de)serialization by name.
+ *
+ * Suppressions are honoured by re-reading the physical source line
+ * (and the one above) for `wormnet-lint: allow(<check>)`, identical
+ * to the built-in frontend's contract; justification text is
+ * mandatory.
+ */
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+
+#include <set>
+#include <string>
+
+using namespace clang;
+
+namespace
+{
+
+llvm::cl::OptionCategory kCat("wormnet-lint options");
+
+int gErrors = 0;
+
+bool
+hasAnnotation(const Decl *d, llvm::StringRef what)
+{
+    if (!d)
+        return false;
+    for (const auto *attr : d->specific_attrs<AnnotateAttr>())
+        if (attr->getAnnotation() == what)
+            return true;
+    return false;
+}
+
+bool
+typeIsUnordered(QualType qt)
+{
+    if (qt.isNull())
+        return false;
+    const std::string name = qt.getCanonicalType().getAsString();
+    return name.find("unordered_map") != std::string::npos ||
+           name.find("unordered_set") != std::string::npos;
+}
+
+/** Same-line / previous-line allow() lookup on the physical source. */
+bool
+isSuppressed(const SourceManager &sm, SourceLocation loc,
+             llvm::StringRef family)
+{
+    if (loc.isInvalid())
+        return false;
+    const FileID fid = sm.getFileID(loc);
+    const unsigned line = sm.getSpellingLineNumber(loc);
+    bool invalid = false;
+    const llvm::StringRef buf = sm.getBufferData(fid, &invalid);
+    if (invalid)
+        return false;
+    llvm::SmallVector<llvm::StringRef, 0> lines;
+    buf.split(lines, '\n');
+    for (unsigned l : {line, line > 1 ? line - 1 : line}) {
+        if (l == 0 || l > lines.size())
+            continue;
+        const llvm::StringRef text = lines[l - 1];
+        const std::size_t p = text.find("wormnet-lint:");
+        if (p == llvm::StringRef::npos)
+            continue;
+        if (text.find("allow(" + family.str()) !=
+                llvm::StringRef::npos ||
+            text.find("allow(all") != llvm::StringRef::npos)
+            return true;
+    }
+    return false;
+}
+
+void
+report(const SourceManager &sm, SourceLocation loc,
+       llvm::StringRef family, llvm::StringRef msg)
+{
+    if (isSuppressed(sm, loc, family))
+        return;
+    ++gErrors;
+    llvm::errs() << sm.getFilename(loc) << ":"
+                 << sm.getSpellingLineNumber(loc) << ":"
+                 << sm.getSpellingColumnNumber(loc) << ": error: ["
+                 << family << "] " << msg << "\n";
+}
+
+class Visitor : public RecursiveASTVisitor<Visitor>
+{
+public:
+    explicit Visitor(ASTContext &ctx) : ctx_(ctx) {}
+
+    bool TraverseFunctionDecl(FunctionDecl *fd)
+    {
+        const FunctionDecl *prev = current_;
+        current_ = fd;
+        const bool r =
+            RecursiveASTVisitor::TraverseFunctionDecl(fd);
+        current_ = prev;
+        return r;
+    }
+
+    bool TraverseCXXMethodDecl(CXXMethodDecl *md)
+    {
+        const FunctionDecl *prev = current_;
+        current_ = md;
+        const bool r =
+            RecursiveASTVisitor::TraverseCXXMethodDecl(md);
+        current_ = prev;
+        return r;
+    }
+
+    bool VisitCXXForRangeStmt(CXXForRangeStmt *s)
+    {
+        const Expr *range = s->getRangeInit();
+        if (!range)
+            return true;
+        if (typeIsUnordered(range->getType()) &&
+            !rangeUsesSortedView(range)) {
+            report(ctx_.getSourceManager(), s->getForLoc(),
+                   "nondet-iter",
+                   "range-for over unordered container; route "
+                   "through wormnet::sorted_view()");
+        }
+        return true;
+    }
+
+    bool VisitCallExpr(CallExpr *ce)
+    {
+        const FunctionDecl *callee = ce->getDirectCallee();
+        if (!callee)
+            return true;
+        const std::string name = callee->getNameAsString();
+        const SourceManager &sm = ctx_.getSourceManager();
+        if (name == "rand" || name == "srand" || name == "time")
+            report(sm, ce->getBeginLoc(), "banned-api",
+                   "call to '" + name + "()': nondeterministic");
+        if (name == "now") {
+            if (const auto *md =
+                    llvm::dyn_cast<CXXMethodDecl>(callee)) {
+                (void)md;
+            }
+            const std::string qual =
+                callee->getQualifiedNameAsString();
+            if (qual.find("_clock::now") != std::string::npos)
+                report(sm, ce->getBeginLoc(), "banned-api",
+                       "wall-clock read '" + qual + "'");
+        }
+        if (current_ &&
+            hasAnnotation(current_, "wormnet::decide_phase") &&
+            hasAnnotation(callee, "wormnet::commit_phase"))
+            report(sm, ce->getBeginLoc(), "phase-discipline",
+                   "decide-phase code calls commit-phase function '" +
+                       name + "'");
+        return true;
+    }
+
+    bool VisitDeclRefExpr(DeclRefExpr *dre)
+    {
+        if (!current_ ||
+            !hasAnnotation(current_, "wormnet::decide_phase"))
+            return true;
+        const std::string name =
+            dre->getDecl()->getNameAsString();
+        if (name == "rng_" || name == "globalRng")
+            report(ctx_.getSourceManager(), dre->getBeginLoc(),
+                   "phase-discipline",
+                   "decide-phase code references the global RNG");
+        return true;
+    }
+
+    bool VisitBinaryOperator(BinaryOperator *bo)
+    {
+        if (!bo->isAssignmentOp() || !current_ ||
+            !hasAnnotation(current_, "wormnet::decide_phase"))
+            return true;
+        const Expr *lhs = bo->getLHS()->IgnoreParenImpCasts();
+        if (const auto *me = llvm::dyn_cast<MemberExpr>(lhs)) {
+            const ValueDecl *field = me->getMemberDecl();
+            if (llvm::isa<FieldDecl>(field) &&
+                !hasAnnotation(field, "wormnet::shard_local"))
+                report(ctx_.getSourceManager(), bo->getOperatorLoc(),
+                       "phase-discipline",
+                       "decide-phase write to member '" +
+                           field->getNameAsString() +
+                           "' not marked WN_SHARD_LOCAL");
+        }
+        return true;
+    }
+
+    bool VisitVarDecl(VarDecl *vd)
+    {
+        const std::string t =
+            vd->getType().getCanonicalType().getAsString();
+        const SourceManager &sm = ctx_.getSourceManager();
+        if (t.find("random_device") != std::string::npos)
+            report(sm, vd->getLocation(), "banned-api",
+                   "std::random_device: nondeterministic seed");
+        if ((t.find("mersenne_twister_engine") != std::string::npos ||
+             t.find("linear_congruential_engine") !=
+                 std::string::npos) &&
+            !vd->hasInit())
+            report(sm, vd->getLocation(), "banned-api",
+                   "default-seeded std RNG engine; seed explicitly");
+        return true;
+    }
+
+private:
+    bool rangeUsesSortedView(const Expr *range) const
+    {
+        if (const auto *call = llvm::dyn_cast<CallExpr>(
+                range->IgnoreParenImpCasts())) {
+            if (const FunctionDecl *fd = call->getDirectCallee())
+                return fd->getQualifiedNameAsString().find(
+                           "sorted_view") != std::string::npos;
+        }
+        return false;
+    }
+
+    ASTContext &ctx_;
+    const FunctionDecl *current_ = nullptr;
+};
+
+class Consumer : public ASTConsumer
+{
+public:
+    void HandleTranslationUnit(ASTContext &ctx) override
+    {
+        Visitor v(ctx);
+        v.TraverseDecl(ctx.getTranslationUnitDecl());
+    }
+};
+
+class Action : public ASTFrontendAction
+{
+public:
+    std::unique_ptr<ASTConsumer>
+    CreateASTConsumer(CompilerInstance &, llvm::StringRef) override
+    {
+        return std::make_unique<Consumer>();
+    }
+};
+
+} // namespace
+
+int
+main(int argc, const char **argv)
+{
+    auto parser =
+        tooling::CommonOptionsParser::create(argc, argv, kCat);
+    if (!parser) {
+        llvm::errs() << llvm::toString(parser.takeError()) << "\n";
+        return 2;
+    }
+    tooling::ClangTool tool(parser->getCompilations(),
+                            parser->getSourcePathList());
+    const int rc = tool.run(
+        tooling::newFrontendActionFactory<Action>().get());
+    if (rc != 0)
+        return 2;
+    return gErrors != 0 ? 1 : 0;
+}

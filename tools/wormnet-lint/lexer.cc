@@ -1,0 +1,215 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <cstring>
+
+namespace wormnet_lint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$';
+}
+
+/** Multi-character punctuators, longest first within a family. */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "<<", ">>", "<=", ">=", "==",
+    "!=",  "&&",  "||",  "++",  "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "->",  ".*",
+};
+
+} // namespace
+
+LexedFile
+lex(const std::string &path, const std::string &src)
+{
+    LexedFile out;
+    out.path = path;
+
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    int line = 1;
+    int col = 1;
+
+    const auto advance = [&](std::size_t k) {
+        for (std::size_t j = 0; j < k && i < n; ++j, ++i) {
+            if (src[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+    };
+
+    const auto peek = [&](std::size_t off) -> char {
+        return i + off < n ? src[i + off] : '\0';
+    };
+
+    bool atLineStart = true; // only whitespace so far on this line
+
+    while (i < n) {
+        const char c = src[i];
+
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            if (c == '\n')
+                atLineStart = true;
+            advance(1);
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && peek(1) == '/') {
+            Comment cm;
+            cm.line = cm.endLine = line;
+            std::size_t j = i + 2;
+            while (j < n && src[j] != '\n')
+                ++j;
+            cm.text = src.substr(i + 2, j - (i + 2));
+            out.comments.push_back(std::move(cm));
+            advance(j - i);
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && peek(1) == '*') {
+            Comment cm;
+            cm.line = line;
+            std::size_t j = i + 2;
+            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/'))
+                ++j;
+            cm.text = src.substr(i + 2, j - (i + 2));
+            const std::size_t skip = (j + 1 < n) ? j + 2 - i : n - i;
+            advance(skip);
+            cm.endLine = line;
+            out.comments.push_back(std::move(cm));
+            continue;
+        }
+
+        // Preprocessor directive: skip to end of (continued) line,
+        // but still harvest comments inside it.
+        if (c == '#' && atLineStart) {
+            while (i < n) {
+                if (src[i] == '/' && peek(1) == '/') {
+                    Comment cm;
+                    cm.line = cm.endLine = line;
+                    std::size_t j = i + 2;
+                    while (j < n && src[j] != '\n')
+                        ++j;
+                    cm.text = src.substr(i + 2, j - (i + 2));
+                    out.comments.push_back(std::move(cm));
+                    advance(j - i);
+                    continue;
+                }
+                if (src[i] == '\\' && peek(1) == '\n') {
+                    advance(2);
+                    continue;
+                }
+                if (src[i] == '\n')
+                    break;
+                advance(1);
+            }
+            continue;
+        }
+        atLineStart = false;
+
+        // Raw string literal: R"delim( ... )delim"
+        if (c == 'R' && peek(1) == '"') {
+            // Find the delimiter up to the '('.
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && src[j] != '(' && j - i < 20)
+                delim += src[j++];
+            if (j < n && src[j] == '(') {
+                const std::string close = ")" + delim + "\"";
+                std::size_t k = src.find(close, j + 1);
+                if (k == std::string::npos)
+                    k = n;
+                else
+                    k += close.size();
+                Token t{TokKind::String, "<raw-string>", line, col};
+                out.tokens.push_back(std::move(t));
+                advance(k - i);
+                continue;
+            }
+            // Not actually a raw string: fall through as identifier.
+        }
+
+        if (identStart(c)) {
+            std::size_t j = i;
+            while (j < n && identChar(src[j]))
+                ++j;
+            Token t{TokKind::Ident, src.substr(i, j - i), line, col};
+            out.tokens.push_back(std::move(t));
+            advance(j - i);
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            // pp-number: digits, idents, dots, exponent signs.
+            std::size_t j = i;
+            while (j < n &&
+                   (identChar(src[j]) || src[j] == '.' ||
+                    ((src[j] == '+' || src[j] == '-') && j > i &&
+                     (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                      src[j - 1] == 'p' || src[j - 1] == 'P'))))
+                ++j;
+            Token t{TokKind::Number, src.substr(i, j - i), line, col};
+            out.tokens.push_back(std::move(t));
+            advance(j - i);
+            continue;
+        }
+
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t j = i + 1;
+            while (j < n && src[j] != quote) {
+                if (src[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            Token t{quote == '"' ? TokKind::String : TokKind::Char,
+                    "<literal>", line, col};
+            out.tokens.push_back(std::move(t));
+            advance((j < n ? j + 1 : n) - i);
+            continue;
+        }
+
+        // Punctuation, longest match first.
+        bool matched = false;
+        for (const char *p : kPuncts) {
+            const std::size_t len = std::strlen(p);
+            if (src.compare(i, len, p) == 0) {
+                out.tokens.push_back(
+                    Token{TokKind::Punct, p, line, col});
+                advance(len);
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+
+        out.tokens.push_back(
+            Token{TokKind::Punct, std::string(1, c), line, col});
+        advance(1);
+    }
+
+    return out;
+}
+
+} // namespace wormnet_lint
